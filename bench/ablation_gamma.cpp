@@ -1,0 +1,51 @@
+// Ablation: the power-frequency exponent gamma (paper Eq 20, P ~ f^gamma,
+// gamma >= 1, set to 2 on SystemG following Kim et al.).
+//
+// Sweeps gamma and reports (a) how the predicted EE surface tilts with
+// frequency and (b) which DVFS gear minimises predicted energy — showing the
+// paper's race-to-idle / scale-down crossover as dynamic power grows.
+#include "analysis/study.hpp"
+#include "bench/common.hpp"
+#include "model/isocontour.hpp"
+#include "npb/classes.hpp"
+
+using namespace isoee;
+
+int main() {
+  const auto machine = bench::with_noise(sim::system_g());
+  bench::heading("Ablation: power exponent gamma in DeltaP_c ~ f^gamma",
+                 "paper assumes gamma = 2 (Kim et al.); sensitivity check");
+
+  analysis::EnergyStudy study(machine,
+                              analysis::make_cg_adapter(npb::cg_class(npb::ProblemClass::A)));
+  const double ns[] = {2000, 4000, 8000};
+  const int calib_ps[] = {2, 4, 8};
+  study.calibrate(ns, calib_ps);
+
+  const double n = 14000;
+  const int p = 32;
+  const double gears[] = {2.8, 2.4, 2.0, 1.6};
+
+  util::Table table({"gamma", "EE_at_1.6GHz", "EE_at_2.8GHz", "best_gear_for_energy",
+                     "Ep_at_best_J"});
+  for (double gamma : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    auto params = study.machine_params();
+    params.gamma = gamma;
+    const double ee_lo = model::ee_at(params, study.workload(), n, p, 1.6);
+    const double ee_hi = model::ee_at(params, study.workload(), n, p, 2.8);
+    const double best =
+        model::best_frequency_for_energy(params, study.workload(), n, p, gears);
+    model::IsoEnergyModel m(params.at_frequency(best));
+    const double ep = m.predict_energy(study.workload().at(n, p)).Ep;
+    table.add_row({util::num(gamma, 1), util::num(ee_lo, 4), util::num(ee_hi, 4),
+                   util::num(best, 1), util::num(ep, 1)});
+  }
+  bench::emit(table, "ablation_gamma");
+  std::printf(
+      "\nReading: with the calibrated idle floor (~29 W/core) dominating the CPU\n"
+      "delta (~12 W), racing to idle wins up to gamma ~ 4; only for steeper\n"
+      "power-frequency curves does the energy-optimal gear drop below the top —\n"
+      "the crossover the paper's Eq 20 exposes. EE itself tilts toward higher f\n"
+      "as gamma falls (cheaper high gears), matching the Fig 9 discussion.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared scaffolding for the experiment harnesses (one binary per paper
+// figure): consistent stdout formatting and CSV export under bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/surface.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+namespace isoee::bench {
+
+inline const char* out_dir() { return "bench_out"; }
+
+/// Prints a section header.
+inline void heading(const std::string& title, const std::string& paper_note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!paper_note.empty()) std::printf("paper: %s\n", paper_note.c_str());
+}
+
+/// Prints the table and writes it as CSV under bench_out/<name>.csv.
+inline void emit(const util::Table& table, const std::string& name) {
+  std::fputs(table.to_string().c_str(), stdout);
+  const std::string path = std::string(out_dir()) + "/" + name + ".csv";
+  if (table.write_csv(path)) std::printf("[csv] %s\n", path.c_str());
+}
+
+/// Prints an EE surface as table + ASCII shade map and writes the CSV.
+inline void emit_surface(const analysis::EeSurface& surface, const std::string& name) {
+  std::printf("%s\n", surface.title.c_str());
+  emit(analysis::surface_table(surface), name);
+  std::fputs(analysis::surface_ascii(surface).c_str(), stdout);
+}
+
+/// The validation experiments run with noise enabled — the "real hardware".
+inline sim::MachineSpec with_noise(sim::MachineSpec machine) {
+  machine.noise.enabled = true;
+  return machine;
+}
+
+}  // namespace isoee::bench

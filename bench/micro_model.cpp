@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks of the analytical layer: EE evaluation,
+// surface generation, and the iso-contour solvers. These quantify the cost
+// of using the model interactively (e.g. inside a scheduler's policy loop —
+// the paper's Fig 1 "policy" box).
+#include <benchmark/benchmark.h>
+
+#include "analysis/surface.hpp"
+#include "benchtools/calibrate.hpp"
+#include "model/isocontour.hpp"
+#include "model/workloads.hpp"
+
+using namespace isoee;
+
+namespace {
+
+const model::MachineParams& params() {
+  static const model::MachineParams p = tools::nominal_machine_params(sim::system_g());
+  return p;
+}
+
+void BM_EeEvaluation(benchmark::State& state) {
+  model::FtWorkload ft;
+  const auto& m = params();
+  int p = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::ee_at(m, ft, 64.0 * 64 * 64, p, 2.8));
+    p = p == 1024 ? 2 : p * 2;
+  }
+}
+BENCHMARK(BM_EeEvaluation);
+
+void BM_EnergyPrediction(benchmark::State& state) {
+  model::CgWorkload cg;
+  model::IsoEnergyModel m(params());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict_energy(cg.at(75000, 64)).Ep);
+  }
+}
+BENCHMARK(BM_EnergyPrediction);
+
+void BM_SurfaceGeneration(benchmark::State& state) {
+  model::CgWorkload cg;
+  const int ps[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  const double fs[] = {1.6, 2.0, 2.4, 2.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::ee_surface_pf(params(), cg, 75000, ps, fs).ee.size());
+  }
+}
+BENCHMARK(BM_SurfaceGeneration);
+
+void BM_IsoContourSolve(benchmark::State& state) {
+  model::FtWorkload ft;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::required_problem_size(params(), ft, 64, 2.8, 0.9, 1e3, 1e12));
+  }
+}
+BENCHMARK(BM_IsoContourSolve);
+
+void BM_MaxProcessorsSolve(benchmark::State& state) {
+  model::CgWorkload cg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::max_processors(params(), cg, 75000, 2.8, 0.8, 4096));
+  }
+}
+BENCHMARK(BM_MaxProcessorsSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

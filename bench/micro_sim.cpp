@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// how fast the virtual-time engine executes primitive operations, message
+// passing, and collectives — the cost of the simulation, not of the
+// simulated machine.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "smpi/comm.hpp"
+
+using namespace isoee;
+
+namespace {
+
+sim::MachineSpec machine() {
+  auto m = sim::system_g();
+  m.noise.enabled = false;
+  return m;
+}
+
+void BM_EngineComputeOps(benchmark::State& state) {
+  const auto spec = machine();
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine(spec);
+    auto res = engine.run(1, [ops](sim::RankCtx& ctx) {
+      for (std::uint64_t i = 0; i < ops; ++i) ctx.compute(1000);
+    });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EngineComputeOps)->Arg(1000)->Arg(10000)->Arg(100000)->MinTime(0.05);
+
+void BM_EngineRunStartup(benchmark::State& state) {
+  const auto spec = machine();
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine(spec);
+    auto res = engine.run(p, [](sim::RankCtx& ctx) { ctx.compute(1); });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+}
+BENCHMARK(BM_EngineRunStartup)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->MinTime(0.05);
+
+void BM_PingPong(benchmark::State& state) {
+  const auto spec = machine();
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine(spec);
+    engine.run(2, [bytes](sim::RankCtx& ctx) {
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < 100; ++i) {
+        if (ctx.rank() == 0) {
+          ctx.send_bytes(1, 0, buf);
+          auto back = ctx.recv_bytes(1, 1);
+          benchmark::DoNotOptimize(back.size());
+        } else {
+          auto ping = ctx.recv_bytes(0, 0);
+          ctx.send_bytes(0, 1, ping);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 100 * 2 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144)->MinTime(0.05);
+
+void BM_Allreduce(benchmark::State& state) {
+  const auto spec = machine();
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine(spec);
+    engine.run(p, [](sim::RankCtx& ctx) {
+      smpi::Comm comm(ctx);
+      std::vector<double> in(256, 1.0), out(256);
+      for (int i = 0; i < 10; ++i) {
+        comm.allreduce_sum(std::span<const double>(in), std::span<double>(out));
+      }
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.05);
+
+void BM_AlltoallPairwise(benchmark::State& state) {
+  const auto spec = machine();
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine(spec);
+    engine.run(p, [p](sim::RankCtx& ctx) {
+      smpi::Comm comm(ctx);
+      const std::size_t block = 256;
+      std::vector<double> in(block * static_cast<std::size_t>(p), 1.0), out(in.size());
+      comm.alltoall(std::span<const double>(in), std::span<double>(out), block);
+    });
+  }
+}
+BENCHMARK(BM_AlltoallPairwise)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

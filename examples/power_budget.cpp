@@ -1,0 +1,97 @@
+// Power-budget advisor: power-constrained parallel computation (the title
+// scenario). Given a benchmark and a hard average-power cap for the job's
+// partition, enumerate (p, f) operating points with the model and pick the
+// fastest one under the cap; also answer the deadline-constrained
+// minimum-energy question.
+//
+// Example:  ./build/examples/power_budget --benchmark=ft --cap=2000
+#include <cstdio>
+#include <memory>
+
+#include "analysis/policy.hpp"
+#include "analysis/study.hpp"
+#include "npb/classes.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace isoee;
+
+int main(int argc, char** argv) {
+  util::Cli cli("power_budget — fastest configuration under a power cap");
+  cli.flag("benchmark", "ft", "workload: ep | ft | cg")
+      .flag("cap", "2000", "average power cap in watts for the whole job")
+      .flag("deadline", "0", "optional deadline in seconds (0 = none)")
+      .flag("n", "0", "problem size (0 = class default)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto machine = sim::system_g();
+  machine.noise.enabled = true;
+
+  std::unique_ptr<analysis::BenchmarkAdapter> adapter;
+  std::vector<double> calib_ns;
+  const std::string bench = cli.get("benchmark");
+  if (bench == "ep") {
+    adapter = analysis::make_ep_adapter(npb::ep_class(npb::ProblemClass::B));
+    calib_ns = {1 << 18, 1 << 19, 1 << 20};
+  } else if (bench == "ft") {
+    adapter = analysis::make_ft_adapter(npb::ft_class(npb::ProblemClass::B));
+    calib_ns = {32. * 32 * 32, 64. * 64 * 64, 128. * 128 * 128};
+  } else if (bench == "cg") {
+    adapter = analysis::make_cg_adapter(npb::cg_class(npb::ProblemClass::B));
+    calib_ns = {4000, 8000, 16000};
+  } else {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+    return 1;
+  }
+  const double n = cli.get_double("n") > 0 ? cli.get_double("n") : adapter->default_n();
+  const double cap_w = cli.get_double("cap");
+
+  std::printf("calibrating on %s...\n\n", machine.name.c_str());
+  analysis::EnergyStudy study(machine, std::move(adapter));
+  const int calib_ps[] = {2, 4, 8};
+  study.calibrate(calib_ns, calib_ps);
+
+  const int ps[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const double gears[] = {2.8, 2.4, 2.0, 1.6};
+
+  util::Table table({"p", "f_GHz", "time_s", "energy_J", "avg_power_W", "EE", "fits_cap"});
+  for (const auto& c : analysis::enumerate_configs(study.machine_params(), study.workload(),
+                                                   n, ps, gears)) {
+    if (c.f_ghz != 2.8 && c.f_ghz != 1.6) continue;  // keep the table short
+    table.add_row({util::num(c.p), util::num(c.f_ghz, 1), util::num(c.time_s, 4),
+                   util::num(c.energy_j, 1), util::num(c.avg_power_w, 0),
+                   util::num(c.ee, 4), c.avg_power_w <= cap_w ? "yes" : "no"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const auto best = analysis::best_under_power_cap(study.machine_params(), study.workload(),
+                                                   n, ps, gears, cap_w);
+  if (best.feasible) {
+    std::printf("\nfastest under %.0f W: p = %d at %.1f GHz -> %.4f s, %.1f J, %.0f W avg\n",
+                cap_w, best.p, best.f_ghz, best.time_s, best.energy_j, best.avg_power_w);
+  } else {
+    std::printf("\nno configuration fits a %.0f W cap at n = %.0f\n", cap_w, n);
+  }
+
+  const double deadline = cli.get_double("deadline");
+  if (deadline > 0) {
+    const auto eco = analysis::best_energy_under_deadline(
+        study.machine_params(), study.workload(), n, ps, gears, deadline);
+    if (eco.feasible) {
+      std::printf("cheapest under %.2f s deadline: p = %d at %.1f GHz -> %.1f J\n", deadline,
+                  eco.p, eco.f_ghz, eco.energy_j);
+    } else {
+      std::printf("no configuration meets a %.2f s deadline\n", deadline);
+    }
+  }
+
+  // Quantitative DVFS bound at the chosen point (the Fig 1 policy question).
+  if (best.feasible) {
+    const auto impact = analysis::dvfs_impact(study.machine_params(), study.workload(), n,
+                                              best.p, 2.8, 1.6);
+    std::printf("\ndropping 2.8 -> 1.6 GHz at p = %d 'costs' %.1f%% time, %+.1f%% energy\n",
+                best.p, 100.0 * (impact.time_ratio - 1.0),
+                100.0 * (impact.energy_ratio - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: the iso-energy-efficiency workflow in ~60 lines.
+//
+//   1. Describe (or pick) a power-aware cluster.
+//   2. Take a workload model (FT's closed form, fitted or default).
+//   3. Evaluate EE(n, p, f) and ask scaling questions: how far can I scale
+//      before efficiency drops below a target? What problem size restores it?
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "benchtools/calibrate.hpp"
+#include "model/isocontour.hpp"
+#include "model/workloads.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+using namespace isoee;
+
+int main() {
+  // 1. Machine-dependent vector from the SystemG preset (use
+  //    tools::calibrate_machine to *measure* it instead, as the paper does).
+  const model::MachineParams machine = tools::nominal_machine_params(sim::system_g());
+  std::printf("machine: %s  t_c=%.3g s  t_m=%.3g s  t_s=%.3g s  t_w=%.3g s/B\n",
+              machine.name.c_str(), machine.t_c(), machine.t_m, machine.t_s, machine.t_w);
+
+  // 2. Application-dependent vector: FT's closed-form workload model.
+  model::FtWorkload ft;
+  const double n = 128.0 * 128 * 128;  // grid points
+
+  // 3a. EE across the (p, f) plane.
+  util::Table table({"p", "EE @ 1.6 GHz", "EE @ 2.8 GHz", "predicted Ep (J)"});
+  for (int p : {1, 4, 16, 64, 256}) {
+    model::IsoEnergyModel at_base(machine.at_frequency(2.8));
+    table.add_row({util::num(p), util::num(model::ee_at(machine, ft, n, p, 1.6), 4),
+                   util::num(model::ee_at(machine, ft, n, p, 2.8), 4),
+                   util::num(at_base.predict_energy(ft.at(n, p)).Ep, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // 3b. Scaling decisions (the paper's Section V.B use case).
+  const double target = 0.90;
+  const int p_max = model::max_processors(machine, ft, n, 2.8, target, 1024);
+  std::printf("\nlargest p with EE >= %.2f at n = %.0f: p = %d\n", target, n, p_max);
+
+  const double n_for_256 = model::required_problem_size(machine, ft, 256, 2.8, target,
+                                                        1e3, 1e12);
+  if (n_for_256 > 0) {
+    std::printf("problem size restoring EE >= %.2f at p = 256: n = %.3g\n", target,
+                n_for_256);
+  }
+
+  const double gears[] = {2.8, 2.4, 2.0, 1.6};
+  std::printf("best DVFS gear for EE at (n, p=64): %.1f GHz\n",
+              model::best_frequency_for_ee(machine, ft, n, 64, gears));
+  return 0;
+}

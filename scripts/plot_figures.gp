@@ -1,0 +1,37 @@
+# Gnuplot recipes for the bench_out/ CSVs. Usage:
+#   for b in build/bench/fig*; do $b; done
+#   gnuplot scripts/plot_figures.gp
+# PNGs land next to the CSVs in bench_out/.
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set key outside
+
+set output 'bench_out/fig02.png'
+set title 'Fig 2: performance vs energy efficiency (fixed size)'
+set xlabel 'processors'; set ylabel 'efficiency'; set yrange [0:1.05]
+plot 'bench_out/fig02_FT.csv' skip 1 using 1:4 with linespoints title 'FT perf', \
+     ''                        skip 1 using 1:5 with linespoints title 'FT energy', \
+     'bench_out/fig02_CG.csv' skip 1 using 1:4 with linespoints title 'CG perf', \
+     ''                        skip 1 using 1:5 with linespoints title 'CG energy'
+
+set output 'bench_out/fig04.png'
+set title 'Fig 4: prediction error on SystemG (p = 1..128)'
+set style data histogram; set style fill solid 0.6
+set xlabel 'benchmark'; set ylabel 'avg error (%)'; set yrange [0:10]
+plot 'bench_out/fig04_error_summary.csv' skip 1 using (real(strcol(2)[1:4])):xtic(1) title 'measured'
+
+unset style
+set output 'bench_out/fig10.png'
+set title 'Fig 10: component power profile of the FT run'
+set xlabel 'time (s)'; set ylabel 'watts'; set yrange [0:*]; set style data lines
+plot 'bench_out/fig10_power_trace.csv' skip 1 using 1:2 title 'CPU', \
+     '' skip 1 using 1:3 title 'memory', \
+     '' skip 1 using 1:4 title 'NIC', \
+     '' skip 1 using 1:5 title 'other', \
+     '' skip 1 using 1:6 title 'total'
+
+set output 'bench_out/fig08.png'
+set title 'Fig 8: CG EE vs p at several n (f = 2.8 GHz)'
+set xlabel 'processors'; set ylabel 'EE'; set logscale x 2; set yrange [0:1.05]
+plot for [c=2:7] 'bench_out/fig08_cg_ee_pn.csv' skip 1 using 1:c with linespoints \
+     title columnheader(c)

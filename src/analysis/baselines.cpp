@@ -1,0 +1,89 @@
+#include "analysis/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/isocontour.hpp"
+
+namespace isoee::analysis {
+
+double perf_efficiency(const model::MachineParams& machine,
+                       const model::WorkloadModel& workload, double n, int p) {
+  model::IsoEnergyModel m(machine);
+  return m.predict_performance(workload.at(n, p)).perf_efficiency;
+}
+
+double isoefficiency_problem_size(const model::MachineParams& machine,
+                                  const model::WorkloadModel& workload, int p,
+                                  double target_e, double n_lo, double n_hi) {
+  if (perf_efficiency(machine, workload, n_hi, p) < target_e) return -1.0;
+  if (perf_efficiency(machine, workload, n_lo, p) >= target_e) return n_lo;
+  double lo = n_lo, hi = n_hi;
+  for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-9; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (perf_efficiency(machine, workload, mid, p) >= target_e) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double power_aware_speedup(const model::MachineParams& machine,
+                           const model::WorkloadModel& workload, double n, int p,
+                           double f_ghz) {
+  // T1 at the base frequency vs Tp at the scaled frequency — the
+  // energy-gear-aware generalisation of speedup.
+  model::IsoEnergyModel base(machine.at_frequency(machine.base_ghz));
+  model::IsoEnergyModel scaled(machine.at_frequency(f_ghz));
+  const double t1 = base.predict_performance(workload.at(n, 1)).T1;
+  const double tp = scaled.predict_performance(workload.at(n, p)).Tp;
+  return tp > 0.0 ? t1 / tp : 0.0;
+}
+
+double amdahl_speedup(double serial_fraction, int p) {
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  return 1.0 / (s + (1.0 - s) / std::max(1, p));
+}
+
+double gustafson_speedup(double serial_fraction, int p) {
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  return s + (1.0 - s) * std::max(1, p);
+}
+
+double sun_ni_speedup(double serial_fraction, int p, double growth_exponent) {
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  const double g = std::pow(static_cast<double>(std::max(1, p)), growth_exponent);
+  return (s + (1.0 - s) * g) / (s + (1.0 - s) * g / std::max(1, p));
+}
+
+double effective_serial_fraction(const model::MachineParams& machine,
+                                 const model::WorkloadModel& workload, double n, int p) {
+  // Invert Amdahl at the model's predicted speedup: the s that explains the
+  // observed efficiency loss. s = (p/S - 1) / (p - 1).
+  if (p <= 1) return 0.0;
+  model::IsoEnergyModel m(machine);
+  const double speedup = m.predict_performance(workload.at(n, p)).speedup;
+  if (speedup <= 0.0) return 1.0;
+  const double s = (static_cast<double>(p) / speedup - 1.0) / (p - 1.0);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+std::vector<BaselineRow> baseline_sweep(const model::MachineParams& machine,
+                                        const model::WorkloadModel& workload, double n,
+                                        std::span<const int> ps, double f_ghz) {
+  std::vector<BaselineRow> rows;
+  rows.reserve(ps.size());
+  for (int p : ps) {
+    BaselineRow row;
+    row.p = p;
+    row.perf_eff = perf_efficiency(machine, workload, n, p);
+    row.pa_speedup = power_aware_speedup(machine, workload, n, p, f_ghz);
+    row.ee = model::ee_at(machine, workload, n, p, f_ghz);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace isoee::analysis

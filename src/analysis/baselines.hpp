@@ -1,0 +1,71 @@
+// Baseline scalability metrics the paper positions itself against:
+//
+//  * Grama et al. performance isoefficiency — efficiency E = S/p = T1/(p Tp)
+//    and the isoefficiency problem-size function W(p) keeping E constant.
+//    Performance-only: blind to energy (Section II.A).
+//  * Ge & Cameron power-aware speedup — Amdahl-style speedup generalised with
+//    DVFS: sequential and parallel fractions slow down as f drops. Captures
+//    energy-performance coupling but not the component-level causes
+//    (Section II.D).
+//
+// Both are implemented on top of the same machine/workload vectors so bench
+// binaries can contrast them with iso-energy-efficiency on identical sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/workloads.hpp"
+
+namespace isoee::analysis {
+
+/// Grama performance efficiency E(n, p) = T1 / (p * Tp) from the model.
+double perf_efficiency(const model::MachineParams& machine,
+                       const model::WorkloadModel& workload, double n, int p);
+
+/// Smallest n keeping perf-efficiency >= target at p (the isoefficiency
+/// function W(p)); negative if unreachable within [n_lo, n_hi].
+double isoefficiency_problem_size(const model::MachineParams& machine,
+                                  const model::WorkloadModel& workload, int p,
+                                  double target_e, double n_lo, double n_hi);
+
+/// Ge-Cameron power-aware speedup: T1 at (f_base) over Tp at (p, f).
+double power_aware_speedup(const model::MachineParams& machine,
+                           const model::WorkloadModel& workload, double n, int p,
+                           double f_ghz);
+
+/// Classic speedup laws from the paper's related work (Section II.B). All
+/// are expressed through the workload model so they share the same measured
+/// inputs as EE; `serial_fraction` is derived from the model's overheads.
+
+/// Amdahl speedup: S(p) = 1 / (s + (1-s)/p) for serial fraction s.
+double amdahl_speedup(double serial_fraction, int p);
+
+/// Gustafson fixed-time (scaled) speedup: S(p) = s + (1-s)*p.
+double gustafson_speedup(double serial_fraction, int p);
+
+/// Sun-Ni memory-bounded speedup with work growth g(p) under per-node memory
+/// capacity: S(p) = (s + (1-s)*g(p)) / (s + (1-s)*g(p)/p). g(p) = p^k with
+/// k in [0, 1]: k=0 reduces to Amdahl, k=1 to Gustafson-like scaling.
+double sun_ni_speedup(double serial_fraction, int p, double growth_exponent);
+
+/// Effective serial fraction of a workload at (n, p): the share of the
+/// parallel execution the model attributes to non-parallelisable overhead
+/// time (communication + parallel overheads), mapped back to Amdahl's s.
+double effective_serial_fraction(const model::MachineParams& machine,
+                                 const model::WorkloadModel& workload, double n, int p);
+
+/// One row of a baseline-vs-EE comparison sweep.
+struct BaselineRow {
+  int p = 1;
+  double perf_eff = 0.0;   // Grama efficiency
+  double pa_speedup = 0.0; // power-aware speedup at f
+  double ee = 0.0;         // iso-energy-efficiency
+};
+
+std::vector<BaselineRow> baseline_sweep(const model::MachineParams& machine,
+                                        const model::WorkloadModel& workload, double n,
+                                        std::span<const int> ps, double f_ghz);
+
+}  // namespace isoee::analysis

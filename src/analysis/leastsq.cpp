@@ -1,0 +1,87 @@
+#include "analysis/leastsq.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isoee::analysis {
+
+OlsResult ols(std::span<const std::vector<double>> columns, std::span<const double> y) {
+  OlsResult result;
+  const std::size_t k = columns.size();
+  const std::size_t n = y.size();
+  if (k == 0 || n < k) return result;
+  for (const auto& col : columns) {
+    if (col.size() != n) return result;
+  }
+
+  // Normal equations: A = X^T X (k x k), b = X^T y.
+  std::vector<double> A(k * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) s += columns[i][r] * columns[j][r];
+      A[i * k + j] = s;
+    }
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r) s += columns[i][r] * y[r];
+    b[i] = s;
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(A[col * k + col]);
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::abs(A[row * k + col]) > best) {
+        best = std::abs(A[row * k + col]);
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) return result;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) std::swap(A[col * k + j], A[pivot * k + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = A[row * k + col] / A[col * k + col];
+      for (std::size_t j = col; j < k; ++j) A[row * k + j] -= factor * A[col * k + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  result.coeffs.assign(k, 0.0);
+  for (std::size_t row = k; row-- > 0;) {
+    double s = b[row];
+    for (std::size_t j = row + 1; j < k; ++j) s -= A[row * k + j] * result.coeffs[j];
+    result.coeffs[row] = s / A[row * k + row];
+  }
+
+  // R^2.
+  double ybar = 0.0;
+  for (double v : y) ybar += v;
+  ybar /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < k; ++j) pred += result.coeffs[j] * columns[j][r];
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - ybar) * (y[r] - ybar);
+  }
+  result.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  result.ok = true;
+  return result;
+}
+
+double ols1(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += x[i] * y[i];
+    den += x[i] * x[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace isoee::analysis

@@ -1,0 +1,25 @@
+// Ordinary least squares for small design matrices (the workload fits have
+// one to three basis terms), solved via the normal equations with Gaussian
+// elimination and partial pivoting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace isoee::analysis {
+
+struct OlsResult {
+  std::vector<double> coeffs;  // one per basis column
+  double r2 = 0.0;
+  bool ok = false;  // false if the system was singular
+};
+
+/// Fits y ~ X * beta. `columns` holds the design matrix column-major: each
+/// entry is one basis function evaluated at every sample. All columns must
+/// have y.size() rows.
+OlsResult ols(std::span<const std::vector<double>> columns, std::span<const double> y);
+
+/// Single-column convenience: y ~ c * x (no intercept).
+double ols1(std::span<const double> x, std::span<const double> y);
+
+}  // namespace isoee::analysis

@@ -1,0 +1,85 @@
+#include "analysis/policy.hpp"
+
+#include <limits>
+
+namespace isoee::analysis {
+
+namespace {
+
+PolicyChoice evaluate(const model::MachineParams& machine,
+                      const model::WorkloadModel& workload, double n, int p, double f) {
+  model::IsoEnergyModel m(machine.at_frequency(f));
+  const auto app = workload.at(n, p);
+  const auto perf = m.predict_performance(app);
+  const auto energy = m.predict_energy(app);
+  PolicyChoice c;
+  c.p = p;
+  c.f_ghz = f;
+  c.time_s = perf.Tp;
+  c.energy_j = energy.Ep;
+  c.avg_power_w = perf.Tp > 0.0 ? energy.Ep / perf.Tp : 0.0;
+  c.ee = energy.EE;
+  return c;
+}
+
+}  // namespace
+
+std::vector<PolicyChoice> enumerate_configs(const model::MachineParams& machine,
+                                            const model::WorkloadModel& workload, double n,
+                                            std::span<const int> ps,
+                                            std::span<const double> gears_ghz) {
+  std::vector<PolicyChoice> out;
+  out.reserve(ps.size() * gears_ghz.size());
+  for (int p : ps) {
+    for (double f : gears_ghz) out.push_back(evaluate(machine, workload, n, p, f));
+  }
+  return out;
+}
+
+PolicyChoice best_under_power_cap(const model::MachineParams& machine,
+                                  const model::WorkloadModel& workload, double n,
+                                  std::span<const int> ps, std::span<const double> gears_ghz,
+                                  double cap_w) {
+  PolicyChoice best;
+  best.feasible = false;
+  best.time_s = std::numeric_limits<double>::infinity();
+  for (const auto& c : enumerate_configs(machine, workload, n, ps, gears_ghz)) {
+    if (c.avg_power_w > cap_w) continue;
+    if (c.time_s < best.time_s) {
+      best = c;
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+PolicyChoice best_energy_under_deadline(const model::MachineParams& machine,
+                                        const model::WorkloadModel& workload, double n,
+                                        std::span<const int> ps,
+                                        std::span<const double> gears_ghz,
+                                        double deadline_s) {
+  PolicyChoice best;
+  best.feasible = false;
+  best.energy_j = std::numeric_limits<double>::infinity();
+  for (const auto& c : enumerate_configs(machine, workload, n, ps, gears_ghz)) {
+    if (c.time_s > deadline_s) continue;
+    if (c.energy_j < best.energy_j) {
+      best = c;
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+DvfsImpact dvfs_impact(const model::MachineParams& machine,
+                       const model::WorkloadModel& workload, double n, int p, double f_from,
+                       double f_to) {
+  const PolicyChoice from = evaluate(machine, workload, n, p, f_from);
+  const PolicyChoice to = evaluate(machine, workload, n, p, f_to);
+  DvfsImpact impact;
+  if (from.time_s > 0.0) impact.time_ratio = to.time_s / from.time_s;
+  if (from.energy_j > 0.0) impact.energy_ratio = to.energy_j / from.energy_j;
+  return impact;
+}
+
+}  // namespace isoee::analysis

@@ -1,0 +1,59 @@
+// Power-performance policies built on the iso-energy-efficiency model — the
+// "policy" box of the paper's Fig 1. The paper's headline critique of prior
+// controllers is that their effects are qualitative; with an accurate
+// energy/performance model, policies become *quantitative*: pick (p, f)
+// under a hard power cap, bound the cost of a DVFS decision before making
+// it, or maximise efficiency subject to a deadline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/workloads.hpp"
+
+namespace isoee::analysis {
+
+/// One candidate operating point with its model predictions.
+struct PolicyChoice {
+  int p = 1;
+  double f_ghz = 0.0;
+  double time_s = 0.0;      // predicted wall time Tp
+  double energy_j = 0.0;    // predicted Ep
+  double avg_power_w = 0.0; // Ep / Tp: the quantity a rack power cap limits
+  double ee = 0.0;
+  bool feasible = true;     // against the active constraint
+};
+
+/// Evaluates every (p, f) combination.
+std::vector<PolicyChoice> enumerate_configs(const model::MachineParams& machine,
+                                            const model::WorkloadModel& workload, double n,
+                                            std::span<const int> ps,
+                                            std::span<const double> gears_ghz);
+
+/// Fastest configuration whose predicted average power stays under `cap_w`
+/// (power-constrained parallel computation — the paper's title scenario).
+/// Returns feasible=false if no configuration fits the cap.
+PolicyChoice best_under_power_cap(const model::MachineParams& machine,
+                                  const model::WorkloadModel& workload, double n,
+                                  std::span<const int> ps, std::span<const double> gears_ghz,
+                                  double cap_w);
+
+/// Lowest-energy configuration with predicted time <= `deadline_s`.
+PolicyChoice best_energy_under_deadline(const model::MachineParams& machine,
+                                        const model::WorkloadModel& workload, double n,
+                                        std::span<const int> ps,
+                                        std::span<const double> gears_ghz, double deadline_s);
+
+/// Quantitative impact of a DVFS decision: predicted time and energy ratios
+/// of running at f_to instead of f_from (the "quantitatively bound the
+/// effects of power management on performance" use case).
+struct DvfsImpact {
+  double time_ratio = 1.0;    // T(f_to) / T(f_from)
+  double energy_ratio = 1.0;  // E(f_to) / E(f_from)
+};
+DvfsImpact dvfs_impact(const model::MachineParams& machine,
+                       const model::WorkloadModel& workload, double n, int p, double f_from,
+                       double f_to);
+
+}  // namespace isoee::analysis

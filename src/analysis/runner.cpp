@@ -1,0 +1,85 @@
+#include "analysis/runner.hpp"
+
+namespace isoee::analysis {
+
+namespace {
+
+sim::EngineOptions engine_options(const RunOptions& options) {
+  sim::EngineOptions opts;
+  opts.record_trace = options.record_trace;
+  opts.initial_ghz = options.f_ghz;
+  return opts;
+}
+
+}  // namespace
+
+sim::RunResult run_ep(const sim::MachineSpec& machine, const npb::EpConfig& config, int p,
+                      const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::ep_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_ft(const sim::MachineSpec& machine, const npb::FtConfig& config, int p,
+                      const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::ft_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_cg(const sim::MachineSpec& machine, const npb::CgConfig& config, int p,
+                      const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::cg_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_is(const sim::MachineSpec& machine, const npb::IsConfig& config, int p,
+                      const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::is_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_mg(const sim::MachineSpec& machine, const npb::MgConfig& config, int p,
+                      const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::mg_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_ckpt(const sim::MachineSpec& machine, const npb::CkptConfig& config,
+                        int p, const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::ckpt_rank(ctx, config, options.phases); });
+}
+
+sim::RunResult run_sweep(const sim::MachineSpec& machine, const npb::SweepConfig& config,
+                         int p, const RunOptions& options) {
+  sim::Engine engine(machine, engine_options(options));
+  return engine.run(
+      p, [&](sim::RankCtx& ctx) { (void)npb::sweep_rank(ctx, config, options.phases); });
+}
+
+double ep_problem_size(const npb::EpConfig& config) {
+  return static_cast<double>(config.trials);
+}
+double ft_problem_size(const npb::FtConfig& config) {
+  return static_cast<double>(config.total_points());
+}
+double cg_problem_size(const npb::CgConfig& config) { return static_cast<double>(config.n); }
+double is_problem_size(const npb::IsConfig& config) {
+  return static_cast<double>(config.n_keys);
+}
+double mg_problem_size(const npb::MgConfig& config) {
+  return static_cast<double>(config.total_points());
+}
+double ckpt_problem_size(const npb::CkptConfig& config) {
+  return static_cast<double>(config.elements);
+}
+double sweep_problem_size(const npb::SweepConfig& config) {
+  return static_cast<double>(config.total_cells());
+}
+
+}  // namespace isoee::analysis

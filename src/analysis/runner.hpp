@@ -1,0 +1,50 @@
+// Convenience runners: execute one NPB kernel on the simulated cluster and
+// return the engine's RunResult (the "PowerPack measurement" of that job).
+// Used by the fitting, validation, and bench layers.
+#pragma once
+
+#include <string>
+
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/ckpt.hpp"
+#include "npb/mg.hpp"
+#include "npb/sweep.hpp"
+#include "sim/engine.hpp"
+
+namespace isoee::analysis {
+
+struct RunOptions {
+  double f_ghz = 0.0;         // 0 -> machine base frequency
+  bool record_trace = false;  // keep segment timelines (power profiles)
+  powerpack::PhaseLog* phases = nullptr;
+};
+
+sim::RunResult run_ep(const sim::MachineSpec& machine, const npb::EpConfig& config, int p,
+                      const RunOptions& options = RunOptions());
+sim::RunResult run_ft(const sim::MachineSpec& machine, const npb::FtConfig& config, int p,
+                      const RunOptions& options = RunOptions());
+sim::RunResult run_cg(const sim::MachineSpec& machine, const npb::CgConfig& config, int p,
+                      const RunOptions& options = RunOptions());
+sim::RunResult run_is(const sim::MachineSpec& machine, const npb::IsConfig& config, int p,
+                      const RunOptions& options = RunOptions());
+sim::RunResult run_mg(const sim::MachineSpec& machine, const npb::MgConfig& config, int p,
+                      const RunOptions& options = RunOptions());
+sim::RunResult run_ckpt(const sim::MachineSpec& machine, const npb::CkptConfig& config,
+                        int p, const RunOptions& options = RunOptions());
+sim::RunResult run_sweep(const sim::MachineSpec& machine, const npb::SweepConfig& config,
+                         int p, const RunOptions& options = RunOptions());
+
+/// Problem-size measure used by the workload models: EP trials, FT grid
+/// points, CG matrix order, IS keys.
+double ep_problem_size(const npb::EpConfig& config);
+double ft_problem_size(const npb::FtConfig& config);
+double cg_problem_size(const npb::CgConfig& config);
+double is_problem_size(const npb::IsConfig& config);
+double mg_problem_size(const npb::MgConfig& config);
+double ckpt_problem_size(const npb::CkptConfig& config);
+double sweep_problem_size(const npb::SweepConfig& config);
+
+}  // namespace isoee::analysis

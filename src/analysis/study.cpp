@@ -1,0 +1,302 @@
+#include "analysis/study.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace isoee::analysis {
+
+namespace {
+
+class EpAdapter final : public BenchmarkAdapter {
+ public:
+  explicit EpAdapter(npb::EpConfig base) : base_(base) {}
+  std::string name() const override { return "EP"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    npb::EpConfig cfg = base_;
+    cfg.trials = static_cast<std::uint64_t>(n);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.trials);
+    return run_ep(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::EpWorkload>(fit_ep_workload(samples, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.trials); }
+
+ private:
+  npb::EpConfig base_;
+};
+
+class FtAdapter final : public BenchmarkAdapter {
+ public:
+  explicit FtAdapter(npb::FtConfig base) : base_(base) {}
+  std::string name() const override { return "FT"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    const npb::FtConfig cfg = config_for(n, p);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.total_points());
+    return run_ft(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::FtWorkload>(fit_ft_workload(samples, base_.iters, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.total_points()); }
+
+  /// Snaps n to a power-of-two cubic grid with sides >= p (slab constraint).
+  npb::FtConfig config_for(double n, int p) const {
+    npb::FtConfig cfg = base_;
+    int side = 4;
+    while (static_cast<double>(side) * side * side * 8.0 <= n && side < 1024) side *= 2;
+    // side^3 <= n < (2*side)^3: choose the closer one in log space.
+    if (n > 0 && std::log2(n) - 3.0 * std::log2(side) > 1.5) side *= 2;
+    while (side < p) side *= 2;  // decomposition requires nx, nz >= p
+    cfg.nx = cfg.ny = cfg.nz = side;
+    return cfg;
+  }
+
+ private:
+  npb::FtConfig base_;
+};
+
+class CgAdapter final : public BenchmarkAdapter {
+ public:
+  explicit CgAdapter(npb::CgConfig base) : base_(base) {}
+  std::string name() const override { return "CG"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    npb::CgConfig cfg = base_;
+    cfg.n = std::max(static_cast<int>(n), 4 * p);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.n);
+    return run_cg(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::CgWorkload>(fit_cg_workload(
+        samples, base_.outer, base_.inner, 2.0 * base_.offsets + 1.0, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.n); }
+
+ private:
+  npb::CgConfig base_;
+};
+
+class IsAdapter final : public BenchmarkAdapter {
+ public:
+  explicit IsAdapter(npb::IsConfig base) : base_(base) {}
+  std::string name() const override { return "IS"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    npb::IsConfig cfg = base_;
+    cfg.n_keys = static_cast<std::uint64_t>(n);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.n_keys);
+    return run_is(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::IsWorkload>(fit_is_workload(samples, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.n_keys); }
+
+ private:
+  npb::IsConfig base_;
+};
+
+class MgAdapter final : public BenchmarkAdapter {
+ public:
+  explicit MgAdapter(npb::MgConfig base) : base_(base) {}
+  std::string name() const override { return "MG"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    const npb::MgConfig cfg = config_for(n, p);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.total_points());
+    return run_mg(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::MgWorkload>(fit_mg_workload(samples, base_.cycles, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.total_points()); }
+
+  /// Snaps n to a cubic power-of-two grid with nz/p >= 2, and pins the level
+  /// hierarchy so predictions stay comparable across p.
+  npb::MgConfig config_for(double n, int p) const {
+    npb::MgConfig cfg = base_;
+    int side = 8;
+    while (static_cast<double>(side) * side * side * 8.0 <= n && side < 1024) side *= 2;
+    if (n > 0 && std::log2(n) - 3.0 * std::log2(side) > 1.5) side *= 2;
+    while (side < 2 * p) side *= 2;  // slab constraint nz/p >= 2
+    cfg.nx = cfg.ny = cfg.nz = side;
+    if (cfg.max_levels == 0) cfg.max_levels = 3;
+    return cfg;
+  }
+
+ private:
+  npb::MgConfig base_;
+};
+
+class CkptAdapter final : public BenchmarkAdapter {
+ public:
+  explicit CkptAdapter(npb::CkptConfig base) : base_(base) {}
+  std::string name() const override { return "CKPT"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    npb::CkptConfig cfg = base_;
+    cfg.elements = static_cast<std::uint64_t>(n);
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.elements);
+    return run_ckpt(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::CkptWorkload>(
+        fit_ckpt_workload(samples, base_.iterations, base_.ckpt_every, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.elements); }
+
+ private:
+  npb::CkptConfig base_;
+};
+
+class SweepAdapter final : public BenchmarkAdapter {
+ public:
+  explicit SweepAdapter(npb::SweepConfig base) : base_(base) {}
+  std::string name() const override { return "SWEEP"; }
+
+  sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
+                     const RunOptions& options, double* snapped_n) const override {
+    // Square grid with side a multiple of tile_w and >= p rows.
+    npb::SweepConfig cfg = base_;
+    int side = cfg.tile_w;
+    while (static_cast<double>(side + cfg.tile_w) * (side + cfg.tile_w) <= n) {
+      side += cfg.tile_w;
+    }
+    while (side < p) side += cfg.tile_w;
+    cfg.nx = cfg.ny = side;
+    if (snapped_n != nullptr) *snapped_n = static_cast<double>(cfg.total_cells());
+    return run_sweep(machine, cfg, p, options);
+  }
+
+  std::unique_ptr<model::WorkloadModel> fit(std::span<const CounterSample> samples,
+                                            double t_m) const override {
+    return std::make_unique<model::SweepWorkload>(
+        fit_sweep_workload(samples, base_.sweeps, base_.tile_w, t_m));
+  }
+
+  double default_n() const override { return static_cast<double>(base_.total_cells()); }
+
+ private:
+  npb::SweepConfig base_;
+};
+
+}  // namespace
+
+std::unique_ptr<BenchmarkAdapter> make_ep_adapter(npb::EpConfig base) {
+  return std::make_unique<EpAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_ft_adapter(npb::FtConfig base) {
+  return std::make_unique<FtAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_cg_adapter(npb::CgConfig base) {
+  return std::make_unique<CgAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_is_adapter(npb::IsConfig base) {
+  return std::make_unique<IsAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_mg_adapter(npb::MgConfig base) {
+  return std::make_unique<MgAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_ckpt_adapter(npb::CkptConfig base) {
+  return std::make_unique<CkptAdapter>(base);
+}
+std::unique_ptr<BenchmarkAdapter> make_sweep_adapter(npb::SweepConfig base) {
+  return std::make_unique<SweepAdapter>(base);
+}
+
+EnergyStudy::EnergyStudy(sim::MachineSpec machine, std::unique_ptr<BenchmarkAdapter> adapter,
+                         bool measured_calibration)
+    : machine_(std::move(machine)), adapter_(std::move(adapter)) {
+  machine_params_ = measured_calibration ? tools::calibrate_machine(machine_)
+                                         : tools::nominal_machine_params(machine_);
+}
+
+void EnergyStudy::calibrate(std::span<const double> ns, std::span<const int> ps) {
+  std::vector<CounterSample> samples;
+  // Sequential sweep over problem sizes.
+  for (double n : ns) {
+    double snapped = n;
+    const sim::RunResult run = adapter_->run(machine_, n, 1, RunOptions(), &snapped);
+    samples.push_back(make_sample(run, snapped, 1));
+  }
+  // Parallel sweep at the largest calibration size.
+  const double n_par = ns.empty() ? adapter_->default_n() : ns.back();
+  for (int p : ps) {
+    if (p <= 1) continue;
+    double snapped = n_par;
+    const sim::RunResult run = adapter_->run(machine_, n_par, p, RunOptions(), &snapped);
+    samples.push_back(make_sample(run, snapped, p));
+  }
+  workload_ = adapter_->fit(samples, machine_params_.t_m);
+  ISOEE_INFO("%s: fitted workload model from %zu samples", adapter_->name().c_str(),
+             samples.size());
+}
+
+model::EnergyPrediction EnergyStudy::predict(double n, int p, double f_ghz) const {
+  if (!workload_) throw std::logic_error("EnergyStudy: calibrate() before predict()");
+  const double f = f_ghz > 0.0 ? f_ghz : machine_params_.base_ghz;
+  model::IsoEnergyModel model(machine_params_.at_frequency(f));
+  return model.predict_energy(workload_->at(n, p));
+}
+
+model::PerfPrediction EnergyStudy::predict_performance(double n, int p, double f_ghz) const {
+  if (!workload_) throw std::logic_error("EnergyStudy: calibrate() before predict()");
+  const double f = f_ghz > 0.0 ? f_ghz : machine_params_.base_ghz;
+  model::IsoEnergyModel model(machine_params_.at_frequency(f));
+  return model.predict_performance(workload_->at(n, p));
+}
+
+ValidationPoint EnergyStudy::validate(double n, int p, double f_ghz) const {
+  if (!workload_) throw std::logic_error("EnergyStudy: calibrate() before validate()");
+  ValidationPoint point;
+  point.benchmark = adapter_->name();
+  point.p = p;
+  point.f_ghz = f_ghz > 0.0 ? f_ghz : machine_params_.base_ghz;
+
+  RunOptions options;
+  options.f_ghz = point.f_ghz;
+  double snapped = n;
+  const sim::RunResult run = adapter_->run(machine_, n, p, options, &snapped);
+  point.n = snapped;
+  point.actual_j = run.total_energy_j();
+  point.actual_s = run.makespan;
+
+  const model::EnergyPrediction energy = predict(snapped, p, point.f_ghz);
+  const model::PerfPrediction perf = predict_performance(snapped, p, point.f_ghz);
+  point.predicted_j = energy.Ep;
+  point.predicted_s = perf.Tp;
+  point.error_pct = util::ape(point.actual_j, point.predicted_j);
+  return point;
+}
+
+}  // namespace isoee::analysis

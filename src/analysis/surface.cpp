@@ -1,0 +1,76 @@
+#include "analysis/surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isoee::analysis {
+
+EeSurface ee_surface_pf(const model::MachineParams& machine,
+                        const model::WorkloadModel& workload, double n,
+                        std::span<const int> ps, std::span<const double> fs_ghz) {
+  EeSurface s;
+  s.title = workload.name() + " EE(p, f), n = " + util::num(n, 0);
+  s.col_axis = "f (GHz)";
+  s.ps.assign(ps.begin(), ps.end());
+  s.cols.assign(fs_ghz.begin(), fs_ghz.end());
+  for (int p : ps) {
+    std::vector<double> row;
+    row.reserve(fs_ghz.size());
+    for (double f : fs_ghz) row.push_back(model::ee_at(machine, workload, n, p, f));
+    s.ee.push_back(std::move(row));
+  }
+  return s;
+}
+
+EeSurface ee_surface_pn(const model::MachineParams& machine,
+                        const model::WorkloadModel& workload, double f_ghz,
+                        std::span<const int> ps, std::span<const double> ns) {
+  EeSurface s;
+  s.title = workload.name() + " EE(p, n), f = " + util::num(f_ghz, 1) + " GHz";
+  s.col_axis = "n";
+  s.ps.assign(ps.begin(), ps.end());
+  s.cols.assign(ns.begin(), ns.end());
+  for (int p : ps) {
+    std::vector<double> row;
+    row.reserve(ns.size());
+    for (double n : ns) row.push_back(model::ee_at(machine, workload, n, p, f_ghz));
+    s.ee.push_back(std::move(row));
+  }
+  return s;
+}
+
+util::Table surface_table(const EeSurface& surface) {
+  std::vector<std::string> header = {"p \\ " + surface.col_axis};
+  for (double c : surface.cols) {
+    header.push_back(c >= 1000.0 ? util::sci(c, 1) : util::num(c, 2));
+  }
+  util::Table table(std::move(header));
+  for (std::size_t i = 0; i < surface.ps.size(); ++i) {
+    std::vector<std::string> row = {util::num(surface.ps[i])};
+    for (double v : surface.ee[i]) row.push_back(util::num(v, 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string surface_ascii(const EeSurface& surface) {
+  // 10-step shade ramp from low EE to high EE.
+  static constexpr char kRamp[] = " .:-=+*%@#";
+  std::string out = surface.title + "  (rows: p descending; cols: " + surface.col_axis +
+                    " ascending; '#' = EE near 1)\n";
+  for (std::size_t i = surface.ps.size(); i-- > 0;) {
+    out += "p=";
+    std::string label = util::num(surface.ps[i]);
+    out += label;
+    out.append(label.size() < 4 ? 4 - label.size() : 0, ' ');
+    out += " |";
+    for (double v : surface.ee[i]) {
+      const int idx = std::clamp(static_cast<int>(v * 10.0), 0, 9);
+      out += kRamp[idx];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace isoee::analysis

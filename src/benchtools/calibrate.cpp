@@ -1,0 +1,101 @@
+#include "benchtools/calibrate.hpp"
+
+#include <cmath>
+
+#include "benchtools/latency.hpp"
+#include "benchtools/mpptest.hpp"
+
+namespace isoee::tools {
+
+namespace {
+
+/// Runs `body` on one rank and returns (makespan, total energy).
+std::pair<double, double> micro_run(const sim::MachineSpec& machine,
+                                    const std::function<void(sim::RankCtx&)>& body) {
+  sim::Engine engine(machine);
+  auto result = engine.run(1, body);
+  return {result.makespan, result.energy.total};
+}
+
+}  // namespace
+
+model::MachineParams calibrate_machine(const sim::MachineSpec& machine) {
+  model::MachineParams params;
+  params.name = machine.name;
+  params.base_ghz = machine.cpu.base_ghz;
+  params.f_ghz = machine.cpu.base_ghz;
+
+  // --- CPI: time a long pure-compute loop ------------------------------------
+  constexpr std::uint64_t kInstr = 2'000'000'000;
+  const auto [t_comp, e_comp] =
+      micro_run(machine, [&](sim::RankCtx& ctx) { ctx.compute(kInstr); });
+  params.cpi = t_comp * machine.cpu.base_ghz * 1e9 / static_cast<double>(kInstr);
+
+  // --- t_m: lat_mem_rd plateau -------------------------------------------------
+  params.t_m = estimate_t_m(machine);
+
+  // --- t_s / t_w: mpptest fit ---------------------------------------------------
+  const NetworkFit net = mpptest(machine);
+  params.t_s = net.t_s;
+  params.t_w = net.t_w;
+
+  // --- powers: PowerPack-style micro-measurements -----------------------------
+  const double kIdleSecs = 1.0;
+  const auto [t_idle, e_idle] =
+      micro_run(machine, [&](sim::RankCtx& ctx) { ctx.idle(kIdleSecs); });
+  params.p_sys_idle = e_idle / t_idle;
+
+  params.dp_c_base = e_comp / t_comp - params.p_sys_idle;
+
+  constexpr std::uint64_t kAccesses = 10'000'000;
+  const auto [t_mem, e_mem] =
+      micro_run(machine, [&](sim::RankCtx& ctx) { ctx.memory(kAccesses); });
+  params.dp_m = e_mem / t_mem - params.p_sys_idle;
+
+  // I/O delta measured PowerPack-style from a disk micro-run. For the
+  // paper's machines (no disk activity, io_delta_w = 0) this measures ~0 —
+  // the Eq 12 simplification — but I/O-capable configurations calibrate a
+  // real DeltaP_io for the T_io path.
+  const auto [t_io, e_io] = micro_run(machine, [&](sim::RankCtx& ctx) {
+    ctx.disk_write(static_cast<std::uint64_t>(machine.disk.bandwidth_Bps));  // ~1 s
+  });
+  params.dp_io = std::max(0.0, e_io / t_io - params.p_sys_idle);
+  params.poll_factor = machine.power.net_poll_cpu_factor;  // spec-provided
+
+  // --- gamma: CPU delta at the slowest gear vs base ----------------------------
+  const double f_low = machine.cpu.gears_ghz.back();
+  if (f_low < machine.cpu.base_ghz) {
+    const auto [t_low, e_low] = micro_run(machine, [&](sim::RankCtx& ctx) {
+      ctx.set_frequency(f_low);
+      ctx.compute(kInstr);
+    });
+    const double dp_low = e_low / t_low - params.p_sys_idle;
+    if (dp_low > 0.0 && params.dp_c_base > 0.0) {
+      params.gamma = std::log(params.dp_c_base / dp_low) /
+                     std::log(machine.cpu.base_ghz / f_low);
+    }
+  } else {
+    params.gamma = machine.power.gamma;
+  }
+  return params;
+}
+
+model::MachineParams nominal_machine_params(const sim::MachineSpec& machine) {
+  model::MachineParams params;
+  params.name = machine.name;
+  params.cpi = machine.cpu.cpi;
+  params.f_ghz = machine.cpu.base_ghz;
+  params.base_ghz = machine.cpu.base_ghz;
+  params.t_m = machine.mem.dram_latency_s;
+  params.t_s = machine.net.t_s;
+  params.t_w = machine.net.t_w();
+  params.p_sys_idle = machine.power.system_idle_w();
+  params.dp_c_base = machine.power.cpu_delta_w;
+  params.dp_m = machine.power.mem_delta_w;
+  params.dp_io = machine.power.io_delta_w;
+  params.gamma = machine.power.gamma;
+  params.poll_factor = machine.power.net_poll_cpu_factor;
+  return params;
+}
+
+}  // namespace isoee::tools

@@ -1,0 +1,27 @@
+// Machine-vector calibration: derives the model's machine-dependent
+// parameters M(f, BW) by *measuring* the simulated cluster with the same
+// methodology the paper uses on real hardware —
+//
+//   t_c      Perfmon-style timing of a pure compute loop (CPI = t * f / N)
+//   t_m      lat_mem_rd plateau (LMbench)
+//   t_s,t_w  mpptest ping-pong fit (MPPTest)
+//   powers   PowerPack-style energy measurements of idle / compute / memory
+//            micro-runs, with gamma fitted from two DVFS gears (Eq 20)
+//
+// With machine noise enabled the calibrated values inherit measurement error,
+// which is what makes the downstream validation honest. The `nominal_*`
+// variant reads the spec directly (ground truth for tests).
+#pragma once
+
+#include "model/params.hpp"
+#include "sim/engine.hpp"
+
+namespace isoee::tools {
+
+/// Measures all machine-dependent parameters at the machine's base frequency.
+model::MachineParams calibrate_machine(const sim::MachineSpec& machine);
+
+/// Ground-truth parameters read straight from the spec (no measurement).
+model::MachineParams nominal_machine_params(const sim::MachineSpec& machine);
+
+}  // namespace isoee::tools

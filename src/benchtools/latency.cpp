@@ -1,0 +1,26 @@
+#include "benchtools/latency.hpp"
+
+namespace isoee::tools {
+
+std::vector<MemLatencyPoint> lat_mem_rd(const sim::MachineSpec& machine,
+                                        const LatMemRdOptions& options) {
+  std::vector<MemLatencyPoint> points;
+  for (std::uint64_t ws = options.min_ws; ws <= options.max_ws; ws *= 2) {
+    sim::Engine engine(machine);
+    const std::uint64_t accesses = options.accesses_per_point;
+    auto result = engine.run(1, [&](sim::RankCtx& ctx) {
+      // Dependent loads: nothing to overlap, so plain memory() is the honest
+      // model of a pointer chase.
+      ctx.memory(accesses, ws);
+    });
+    points.push_back(MemLatencyPoint{ws, result.makespan / static_cast<double>(accesses)});
+  }
+  return points;
+}
+
+double estimate_t_m(const sim::MachineSpec& machine, const LatMemRdOptions& options) {
+  const auto points = lat_mem_rd(machine, options);
+  return points.empty() ? 0.0 : points.back().latency_s;
+}
+
+}  // namespace isoee::tools

@@ -1,0 +1,37 @@
+// lat_mem_rd — memory-latency calibration, after LMbench's tool of the same
+// name (the paper uses it to estimate t_m).
+//
+// A single simulated rank performs dependent (pointer-chase) loads over
+// working sets of increasing size and reports virtual time per access. On the
+// simulated cache hierarchy this reproduces the classic latency staircase;
+// the plateau at large working sets is the model's t_m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace isoee::tools {
+
+struct MemLatencyPoint {
+  std::uint64_t working_set_bytes = 0;
+  double latency_s = 0.0;  // measured virtual seconds per access
+};
+
+struct LatMemRdOptions {
+  std::uint64_t min_ws = 4 * 1024;
+  std::uint64_t max_ws = 256ull * 1024 * 1024;
+  std::uint64_t accesses_per_point = 1'000'000;  // chase length per working set
+};
+
+/// Runs the latency sweep on `machine` and returns one point per working set
+/// (powers of two from min_ws to max_ws).
+std::vector<MemLatencyPoint> lat_mem_rd(const sim::MachineSpec& machine,
+                                        const LatMemRdOptions& options = LatMemRdOptions());
+
+/// The t_m estimate: measured latency at the largest working set.
+double estimate_t_m(const sim::MachineSpec& machine,
+                    const LatMemRdOptions& options = LatMemRdOptions());
+
+}  // namespace isoee::tools

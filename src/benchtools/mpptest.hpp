@@ -1,0 +1,38 @@
+// mpptest — network-parameter calibration, after the MPICH MPPTest tool the
+// paper uses to obtain (t_s, t_w) on InfiniBand and Ethernet.
+//
+// Two simulated ranks ping-pong messages of increasing size; the one-way time
+// as a function of message size is fit with least squares, giving the startup
+// time t_s (intercept) and per-byte time t_w (slope).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace isoee::tools {
+
+struct PingPongPoint {
+  std::uint64_t bytes = 0;
+  double one_way_s = 0.0;  // measured half round-trip
+};
+
+struct NetworkFit {
+  double t_s = 0.0;  // startup (s)
+  double t_w = 0.0;  // per byte (s)
+  double r2 = 0.0;   // fit quality
+  std::vector<PingPongPoint> points;
+};
+
+struct MpptestOptions {
+  std::uint64_t min_bytes = 8;
+  std::uint64_t max_bytes = 4ull * 1024 * 1024;
+  int repetitions = 8;  // ping-pongs averaged per size
+};
+
+/// Runs the ping-pong sweep and fits the Hockney parameters.
+NetworkFit mpptest(const sim::MachineSpec& machine,
+                   const MpptestOptions& options = MpptestOptions());
+
+}  // namespace isoee::tools

@@ -1,0 +1,139 @@
+// Structural communication-volume models for the collective algorithms in
+// src/smpi. The iso-energy-efficiency model needs the application vector's
+// (M, B) — total messages and bytes — as functions of (n, p). For collectives
+// these are structural properties of the algorithm, not fitted quantities, so
+// they are computed here in closed form, mirroring the smpi implementations
+// message for message (tests assert the match against simulator counters).
+//
+// Per-rank *time* for the step-synchronous algorithms follows the Hockney
+// model; `hockney_alltoall_time` is the paper's Pairwise-exchange/Hockney
+// estimate for MPI_Alltoall: (p-1)(t_s + X t_w).
+#pragma once
+
+#include <cmath>
+
+namespace isoee::model {
+
+/// Total messages and payload bytes a collective moves (summed over ranks).
+struct CommVolume {
+  double messages = 0.0;
+  double bytes = 0.0;
+
+  CommVolume& operator+=(const CommVolume& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+  friend CommVolume operator+(CommVolume a, const CommVolume& b) { return a += b; }
+  friend CommVolume operator*(double k, CommVolume v) {
+    v.messages *= k;
+    v.bytes *= k;
+    return v;
+  }
+};
+
+inline int ceil_log2(int p) {
+  int r = 0;
+  int x = 1;
+  while (x < p) {
+    x <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+inline int floor_pow2(int p) {
+  int x = 1;
+  while (x * 2 <= p) x *= 2;
+  return x;
+}
+
+/// Dissemination barrier: ceil(log2 p) rounds, 1-byte token per rank per round.
+inline CommVolume barrier_volume(int p) {
+  if (p <= 1) return {};
+  const double rounds = ceil_log2(p);
+  return {static_cast<double>(p) * rounds, static_cast<double>(p) * rounds};
+}
+
+/// Binomial broadcast: p-1 edges, each carrying the full buffer.
+inline CommVolume bcast_volume(int p, double bytes) {
+  if (p <= 1) return {};
+  return {static_cast<double>(p - 1), static_cast<double>(p - 1) * bytes};
+}
+
+/// Binomial reduce: same edge structure as bcast.
+inline CommVolume reduce_volume(int p, double bytes) { return bcast_volume(p, bytes); }
+
+/// Recursive-doubling allreduce with non-power-of-two fold (matches
+/// smpi::Comm::allreduce): 2*rem fold messages + pof2*log2(pof2) exchange
+/// messages, each carrying the full buffer.
+inline CommVolume allreduce_volume(int p, double bytes) {
+  if (p <= 1) return {};
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+  const double msgs = 2.0 * rem + static_cast<double>(pof2) * ceil_log2(pof2);
+  return {msgs, msgs * bytes};
+}
+
+/// Ring allgather: p-1 steps, every rank forwards one block per step.
+inline CommVolume allgather_volume(int p, double block_bytes) {
+  if (p <= 1) return {};
+  const double msgs = static_cast<double>(p) * (p - 1);
+  return {msgs, msgs * block_bytes};
+}
+
+/// Pairwise-exchange alltoall: p-1 steps, every rank sends one block per step.
+inline CommVolume alltoall_volume(int p, double block_bytes) {
+  if (p <= 1) return {};
+  const double msgs = static_cast<double>(p) * (p - 1);
+  return {msgs, msgs * block_bytes};
+}
+
+/// Bruck alltoall: every rank sends ceil(log2 p) bundles; in round k the
+/// bundle carries the blocks whose rotated index has bit k set. For
+/// power-of-two p that is exactly p/2 blocks per round.
+inline CommVolume bruck_alltoall_volume(int p, double block_bytes) {
+  if (p <= 1) return {};
+  double msgs = 0.0, bytes = 0.0;
+  for (int k = 1; k < p; k <<= 1) {
+    int blocks = 0;
+    for (int i = 0; i < p; ++i) {
+      if (i & k) ++blocks;
+    }
+    msgs += p;
+    bytes += static_cast<double>(p) * blocks * block_bytes;
+  }
+  return {msgs, bytes};
+}
+
+/// Alltoallv via ring-offset pairwise: p(p-1) messages, caller supplies the
+/// total non-local payload.
+inline CommVolume alltoallv_volume(int p, double total_nonlocal_bytes) {
+  if (p <= 1) return {};
+  return {static_cast<double>(p) * (p - 1), total_nonlocal_bytes};
+}
+
+/// Scatter from root: p-1 messages, each one block.
+inline CommVolume scatter_volume(int p, double block_bytes) {
+  return bcast_volume(p, block_bytes);  // same edge count, per-block payload
+}
+
+/// Reduce-scatter as reduce + scatter over p-block buffers.
+inline CommVolume reduce_scatter_volume(int p, double block_bytes) {
+  return reduce_volume(p, block_bytes * p) + scatter_volume(p, block_bytes);
+}
+
+/// Linear-pipeline scan: p-1 hops carrying the full buffer.
+inline CommVolume scan_volume(int p, double bytes) {
+  if (p <= 1) return {};
+  return {static_cast<double>(p - 1), static_cast<double>(p - 1) * bytes};
+}
+
+/// Per-rank Pairwise-exchange/Hockney all-to-all time (the paper's FT model):
+/// (p-1)(t_s + X t_w) where X is the per-destination block size in bytes.
+inline double hockney_alltoall_time(int p, double block_bytes, double t_s, double t_w) {
+  if (p <= 1) return 0.0;
+  return static_cast<double>(p - 1) * (t_s + block_bytes * t_w);
+}
+
+}  // namespace isoee::model

@@ -1,0 +1,92 @@
+#include "model/isocontour.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isoee::model {
+
+double ee_at(const MachineParams& machine, const WorkloadModel& workload, double n, int p,
+             double f_ghz) {
+  IsoEnergyModel model(machine.at_frequency(f_ghz));
+  return model.ee(workload.at(n, p));
+}
+
+int max_processors(const MachineParams& machine, const WorkloadModel& workload, double n,
+                   double f_ghz, double target_ee, int p_max) {
+  if (ee_at(machine, workload, n, p_max, f_ghz) >= target_ee) return p_max;
+  int lo = 1, hi = p_max;  // invariant: EE(lo) >= target, EE(hi) < target
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (ee_at(machine, workload, n, mid, f_ghz) >= target_ee) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double required_problem_size(const MachineParams& machine, const WorkloadModel& workload,
+                             int p, double f_ghz, double target_ee, double n_lo,
+                             double n_hi) {
+  if (ee_at(machine, workload, n_hi, p, f_ghz) < target_ee) return -1.0;
+  if (ee_at(machine, workload, n_lo, p, f_ghz) >= target_ee) return n_lo;
+  double lo = n_lo, hi = n_hi;  // EE(lo) < target <= EE(hi)
+  for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-9; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection: n spans decades
+    if (ee_at(machine, workload, mid, p, f_ghz) >= target_ee) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double best_frequency_for_ee(const MachineParams& machine, const WorkloadModel& workload,
+                             double n, int p, std::span<const double> gears_ghz) {
+  double best_f = gears_ghz.front();
+  double best_ee = -1.0;
+  for (double f : gears_ghz) {
+    const double ee = ee_at(machine, workload, n, p, f);
+    if (ee > best_ee) {
+      best_ee = ee;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+double best_frequency_for_energy(const MachineParams& machine, const WorkloadModel& workload,
+                                 double n, int p, std::span<const double> gears_ghz) {
+  double best_f = gears_ghz.front();
+  double best_ep = std::numeric_limits<double>::infinity();
+  for (double f : gears_ghz) {
+    IsoEnergyModel model(machine.at_frequency(f));
+    const double ep = model.predict_energy(workload.at(n, p)).Ep;
+    if (ep < best_ep) {
+      best_ep = ep;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+std::vector<ContourPoint> iso_ee_contour(const MachineParams& machine,
+                                         const WorkloadModel& workload, double target_ee,
+                                         std::span<const int> ps, double f_ghz, double n_lo,
+                                         double n_hi) {
+  std::vector<ContourPoint> contour;
+  contour.reserve(ps.size());
+  for (int p : ps) {
+    ContourPoint pt;
+    pt.p = p;
+    pt.n = required_problem_size(machine, workload, p, f_ghz, target_ee, n_lo, n_hi);
+    pt.ee = pt.n > 0.0 ? ee_at(machine, workload, pt.n, p, f_ghz) :
+                         ee_at(machine, workload, n_hi, p, f_ghz);
+    contour.push_back(pt);
+  }
+  return contour;
+}
+
+}  // namespace isoee::model

@@ -1,0 +1,57 @@
+// Iso-energy-efficiency decision utilities (the paper's Section V.B use case:
+// "how to scale n, p, f to maintain efficiency").
+//
+// These solve the inverse problems on the EE surface: the largest processor
+// count that keeps EE above a target, the problem size needed to restore a
+// target EE at a given p (the iso-efficiency contour n(p), in energy terms),
+// and the DVFS gear that maximises EE or minimises predicted energy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/workloads.hpp"
+
+namespace isoee::model {
+
+/// EE at a single (n, p, f) point.
+double ee_at(const MachineParams& machine, const WorkloadModel& workload, double n, int p,
+             double f_ghz);
+
+/// Largest p in [1, p_max] with EE(n, p) >= target at fixed n and f.
+/// EE is monotonically non-increasing in p for the studied workloads, so a
+/// binary search applies; returns 1 if even p=2 violates the target.
+int max_processors(const MachineParams& machine, const WorkloadModel& workload, double n,
+                   double f_ghz, double target_ee, int p_max);
+
+/// Smallest problem size n in [n_lo, n_hi] with EE(n, p) >= target at fixed p
+/// and f, found by bisection (EE is monotone non-decreasing in n for FT/CG).
+/// Returns a negative value if even n_hi cannot reach the target (e.g. EP,
+/// where scaling n does not help — the paper's Section V.B.6 observation).
+double required_problem_size(const MachineParams& machine, const WorkloadModel& workload,
+                             int p, double f_ghz, double target_ee, double n_lo,
+                             double n_hi);
+
+/// The gear from `gears_ghz` maximising EE at (n, p).
+double best_frequency_for_ee(const MachineParams& machine, const WorkloadModel& workload,
+                             double n, int p, std::span<const double> gears_ghz);
+
+/// The gear from `gears_ghz` minimising predicted parallel energy Ep at (n, p).
+double best_frequency_for_energy(const MachineParams& machine, const WorkloadModel& workload,
+                                 double n, int p, std::span<const double> gears_ghz);
+
+/// One point of an iso-EE contour: the n that keeps EE at `target` for each p.
+struct ContourPoint {
+  int p = 1;
+  double n = 0.0;   // negative if unreachable within the search bracket
+  double ee = 0.0;  // achieved EE at (n, p)
+};
+
+/// Traces the iso-EE contour n(p) over the given processor counts.
+std::vector<ContourPoint> iso_ee_contour(const MachineParams& machine,
+                                         const WorkloadModel& workload, double target_ee,
+                                         std::span<const int> ps, double f_ghz, double n_lo,
+                                         double n_hi);
+
+}  // namespace isoee::model

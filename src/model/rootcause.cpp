@@ -1,0 +1,87 @@
+#include "model/rootcause.hpp"
+
+#include <algorithm>
+
+#include "model/isocontour.hpp"
+
+namespace isoee::model {
+
+std::string OverheadBreakdown::dominant() const {
+  struct Entry {
+    const char* name;
+    double value;
+  };
+  const Entry entries[] = {
+      {"message-startup", message_startup}, {"byte-transfer", byte_transfer},
+      {"compute-overhead", compute_overhead}, {"memory-overhead", memory_overhead},
+      {"io", io_overhead},                  {"imbalance", imbalance},
+  };
+  const Entry* best = nullptr;
+  for (const auto& e : entries) {
+    if (best == nullptr || e.value > best->value) best = &e;
+  }
+  return (best != nullptr && best->value > 0.0) ? best->name : "none";
+}
+
+OverheadBreakdown overhead_breakdown(const MachineParams& machine, const AppParams& app) {
+  OverheadBreakdown b;
+  const double t_c = machine.t_c();
+  const double t_m = machine.t_m;
+  const double idle = machine.p_sys_idle;
+
+  b.message_startup = app.alpha * app.M * machine.t_s * idle +
+                      app.M * machine.t_s * (machine.dp_io + machine.dp_poll());
+  b.byte_transfer = app.alpha * app.B * machine.t_w * idle +
+                    app.B * machine.t_w * (machine.dp_io + machine.dp_poll());
+
+  // Clamp interaction: the effective overheads cannot push workloads below 0.
+  const double eff_dwoc = std::max(app.dW_oc, -app.W_c);
+  const double eff_dwom = std::max(app.dW_om, -app.W_m);
+  b.compute_overhead = eff_dwoc * t_c * (app.alpha * idle + machine.dp_c());
+  b.memory_overhead = eff_dwom * t_m * (app.alpha * idle + machine.dp_m);
+
+  b.io_overhead = 0.0;  // T_io appears in both E1 and Ep; no parallel excess
+  b.imbalance = app.T_idle * idle;
+
+  b.total = b.message_startup + b.byte_transfer + b.compute_overhead + b.memory_overhead +
+            b.io_overhead + b.imbalance;
+  return b;
+}
+
+KnobSensitivity knob_sensitivity(const MachineParams& machine, const WorkloadModel& workload,
+                                 double n, int p, double f_ghz,
+                                 std::span<const double> gears_ghz) {
+  KnobSensitivity s;
+  const double base = ee_at(machine, workload, n, p, f_ghz);
+  if (p > 1) s.d_ee_halve_p = ee_at(machine, workload, n, std::max(1, p / 2), f_ghz) - base;
+  s.d_ee_double_n = ee_at(machine, workload, 2.0 * n, p, f_ghz) - base;
+
+  // gears_ghz is descending; find neighbours of the current gear.
+  double up = f_ghz, down = f_ghz;
+  for (std::size_t i = 0; i < gears_ghz.size(); ++i) {
+    if (gears_ghz[i] == f_ghz) {
+      if (i > 0) up = gears_ghz[i - 1];
+      if (i + 1 < gears_ghz.size()) down = gears_ghz[i + 1];
+      break;
+    }
+  }
+  if (up != f_ghz) s.d_ee_gear_up = ee_at(machine, workload, n, p, up) - base;
+  if (down != f_ghz) s.d_ee_gear_down = ee_at(machine, workload, n, p, down) - base;
+
+  struct Entry {
+    const char* name;
+    double value;
+  };
+  const Entry entries[] = {{"halve-p", s.d_ee_halve_p},
+                           {"double-n", s.d_ee_double_n},
+                           {"gear-up", s.d_ee_gear_up},
+                           {"gear-down", s.d_ee_gear_down}};
+  const Entry* best = &entries[0];
+  for (const auto& e : entries) {
+    if (e.value > best->value) best = &e;
+  }
+  s.best_knob = best->value > 0.0 ? best->name : "none";
+  return s;
+}
+
+}  // namespace isoee::model

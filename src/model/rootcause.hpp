@@ -1,0 +1,54 @@
+// Root-cause attribution of energy inefficiency.
+//
+// The paper motivates the whole model with: "Being able to identify the root
+// cause of energy inefficiency would allow us to improve system and
+// application efficiency" (Section II.A). Eq 16 already decomposes the
+// overhead energy E_o into additive sources; this header exposes that
+// decomposition as a first-class result, plus a knob-sensitivity report that
+// says which of (p, n, f) moves EE the most at a given operating point.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/workloads.hpp"
+
+namespace isoee::model {
+
+/// Additive decomposition of E_o = E_p - E_1 (Eq 16). Each term is in
+/// joules; they sum to Eo (up to the workload clamp).
+struct OverheadBreakdown {
+  double message_startup = 0.0;   // alpha * M t_s * P_idle
+  double byte_transfer = 0.0;     // alpha * B t_w * P_idle
+  double compute_overhead = 0.0;  // dW_oc t_c * (alpha P_idle + dP_c)
+  double memory_overhead = 0.0;   // dW_om t_m * (alpha P_idle + dP_m), >= clamp
+  double io_overhead = 0.0;       // T_io-attributable parallel excess + poll
+  double imbalance = 0.0;         // T_idle * P_idle (extension)
+  double total = 0.0;
+
+  /// Name of the largest contributor ("message-startup", "byte-transfer",
+  /// "compute-overhead", "memory-overhead", "io", "imbalance", or "none").
+  std::string dominant() const;
+};
+
+/// Decomposes the overhead energy at one (machine, app) point.
+OverheadBreakdown overhead_breakdown(const MachineParams& machine, const AppParams& app);
+
+/// Sensitivity of EE to each tunable knob at (n, p, f): the EE change from
+/// one step of each knob (halving p, doubling n, one gear up). Positive
+/// means the step improves EE.
+struct KnobSensitivity {
+  double d_ee_halve_p = 0.0;
+  double d_ee_double_n = 0.0;
+  double d_ee_gear_up = 0.0;    // 0 if already at the top gear
+  double d_ee_gear_down = 0.0;  // 0 if already at the bottom gear
+  std::string best_knob;        // the step with the largest EE gain
+};
+
+KnobSensitivity knob_sensitivity(const MachineParams& machine, const WorkloadModel& workload,
+                                 double n, int p, double f_ghz,
+                                 std::span<const double> gears_ghz);
+
+}  // namespace isoee::model

@@ -1,0 +1,95 @@
+// Problem classes for the NPB-style kernels, scaled so the full suite runs on
+// a single host while spanning the same compute/memory/communication regimes
+// as the original S/W/A/B classes. (The paper runs class B on its clusters;
+// absolute problem sizes differ here by design — see DESIGN.md.)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "npb/sweep.hpp"
+
+namespace isoee::npb {
+
+enum class ProblemClass : char { S = 'S', W = 'W', A = 'A', B = 'B' };
+
+inline ProblemClass parse_class(const std::string& s) {
+  if (s == "S" || s == "s") return ProblemClass::S;
+  if (s == "W" || s == "w") return ProblemClass::W;
+  if (s == "A" || s == "a") return ProblemClass::A;
+  if (s == "B" || s == "b") return ProblemClass::B;
+  throw std::invalid_argument("unknown problem class: " + s);
+}
+
+inline EpConfig ep_class(ProblemClass c) {
+  EpConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.trials = 1u << 18; break;
+    case ProblemClass::W: cfg.trials = 1u << 20; break;
+    case ProblemClass::A: cfg.trials = 1u << 22; break;
+    case ProblemClass::B: cfg.trials = 1u << 24; break;
+  }
+  return cfg;
+}
+
+inline FtConfig ft_class(ProblemClass c) {
+  FtConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.nx = cfg.ny = cfg.nz = 32; cfg.iters = 4; break;
+    case ProblemClass::W: cfg.nx = cfg.ny = cfg.nz = 64; cfg.iters = 4; break;
+    case ProblemClass::A: cfg.nx = cfg.ny = cfg.nz = 64; cfg.iters = 6; break;
+    case ProblemClass::B: cfg.nx = cfg.ny = 128; cfg.nz = 128; cfg.iters = 6; break;
+  }
+  return cfg;
+}
+
+inline CgConfig cg_class(ProblemClass c) {
+  CgConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.n = 1400; cfg.outer = 8; break;
+    case ProblemClass::W: cfg.n = 7000; cfg.outer = 10; break;
+    case ProblemClass::A: cfg.n = 14000; cfg.outer = 15; break;
+    case ProblemClass::B: cfg.n = 75000; cfg.outer = 15; break;  // paper's Fig 9 n
+  }
+  return cfg;
+}
+
+inline MgConfig mg_class(ProblemClass c) {
+  MgConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.nx = cfg.ny = cfg.nz = 32; cfg.cycles = 4; break;
+    case ProblemClass::W: cfg.nx = cfg.ny = cfg.nz = 64; cfg.cycles = 4; break;
+    case ProblemClass::A: cfg.nx = cfg.ny = cfg.nz = 64; cfg.cycles = 6; break;
+    case ProblemClass::B: cfg.nx = cfg.ny = cfg.nz = 128; cfg.cycles = 6; break;
+  }
+  return cfg;
+}
+
+inline SweepConfig sweep_class(ProblemClass c) {
+  SweepConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.nx = cfg.ny = 256; cfg.sweeps = 4; break;
+    case ProblemClass::W: cfg.nx = cfg.ny = 512; cfg.sweeps = 4; break;
+    case ProblemClass::A: cfg.nx = cfg.ny = 1024; cfg.sweeps = 4; break;
+    case ProblemClass::B: cfg.nx = cfg.ny = 2048; cfg.sweeps = 6; break;
+  }
+  return cfg;
+}
+
+inline IsConfig is_class(ProblemClass c) {
+  IsConfig cfg;
+  switch (c) {
+    case ProblemClass::S: cfg.n_keys = 1u << 18; cfg.key_bits = 14; break;
+    case ProblemClass::W: cfg.n_keys = 1u << 20; cfg.key_bits = 15; break;
+    case ProblemClass::A: cfg.n_keys = 1u << 22; cfg.key_bits = 16; break;
+    case ProblemClass::B: cfg.n_keys = 1u << 24; cfg.key_bits = 18; break;
+  }
+  return cfg;
+}
+
+}  // namespace isoee::npb

@@ -1,0 +1,43 @@
+// Workload annotation constants for the NPB-style kernels.
+//
+// The kernels execute real numerics on the host while charging the simulator
+// a modelled instruction/memory cost per algorithmic unit (loop iteration,
+// FFT point, nonzero...). The constants here are per-unit costs, chosen to
+// sit in the range hardware counters report for the corresponding NPB codes;
+// they feed the simulated Perfmon counters from which the analysis layer fits
+// the application-dependent workload vectors. Keeping them in one header
+// makes the kernel <-> model correspondence auditable.
+#pragma once
+
+#include <cstdint>
+
+namespace isoee::npb::costs {
+
+// --- EP (Marsaglia polar Gaussian deviates) ---------------------------------
+inline constexpr std::uint64_t kEpInstrPerTrial = 22;     // uniforms + square test
+inline constexpr std::uint64_t kEpInstrPerAccept = 32;    // sqrt/log + binning
+inline constexpr std::uint64_t kEpTrialsPerMemAccess = 64;  // state is cache-hot
+
+// --- FT (3-D FFT) -------------------------------------------------------------
+inline constexpr std::uint64_t kFftInstrPerPointLevel = 8;  // per point per log2 level
+inline constexpr std::uint64_t kFftPointsPerMemAccess = 4;  // 16B/point, 64B lines
+inline constexpr std::uint64_t kFtEvolveInstrPerPoint = 12;
+inline constexpr std::uint64_t kFtPackInstrPerPoint = 4;    // transpose pack/unpack
+inline constexpr std::uint64_t kFtChecksumInstrPerPoint = 6;
+
+// --- CG (sparse conjugate gradient) -------------------------------------------
+inline constexpr std::uint64_t kCgInstrPerNonzero = 5;      // fmadd + index load
+inline constexpr std::uint64_t kCgInstrPerVectorElem = 2;   // axpy/dot per element
+inline constexpr std::uint64_t kCgMemPerNonzero = 1;        // value+index+x[col]
+inline constexpr std::uint64_t kCgVectorElemsPerMemAccess = 8;  // streaming doubles
+inline constexpr std::uint64_t kCgAssembleInstrPerElem = 8;     // gathered-x unpack:
+                                                                // copy + index + bounds
+
+// --- IS (integer bucket sort) ---------------------------------------------------
+inline constexpr std::uint64_t kIsInstrPerKeyGen = 10;
+inline constexpr std::uint64_t kIsInstrPerKeyCount = 4;
+inline constexpr std::uint64_t kIsInstrPerKeyScatter = 6;
+inline constexpr std::uint64_t kIsInstrPerKeySort = 8;
+inline constexpr std::uint64_t kIsKeysPerMemAccess = 1;  // random scatter misses
+
+}  // namespace isoee::npb::costs

@@ -1,0 +1,56 @@
+#include "npb/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace isoee::npb {
+
+void fft1d(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (!is_pow2(n)) throw std::invalid_argument("fft1d: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> dft_reference(std::span<const std::complex<double>> data,
+                                                bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<std::complex<double>> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
+      sum += data[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace isoee::npb

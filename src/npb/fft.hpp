@@ -1,0 +1,33 @@
+// Radix-2 FFT primitives used by the FT benchmark (pure math, no simulator
+// dependencies, so correctness is unit-testable against a naive DFT).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace isoee::npb {
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Integer log2 for powers of two.
+constexpr int ilog2(std::size_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a power
+/// of two. `inverse` applies the conjugate transform *without* the 1/N scale
+/// (callers scale once per dimension, as NPB FT does).
+void fft1d(std::span<std::complex<double>> data, bool inverse);
+
+/// Naive O(N^2) DFT reference (tests only). Same convention as fft1d.
+std::vector<std::complex<double>> dft_reference(std::span<const std::complex<double>> data,
+                                                bool inverse);
+
+}  // namespace isoee::npb

@@ -1,0 +1,27 @@
+#include "powerpack/phases.hpp"
+
+#include <map>
+
+namespace isoee::powerpack {
+
+std::vector<PhaseSummary> summarize_phases(
+    const PhaseLog& log, const Profiler& profiler,
+    const std::vector<std::vector<sim::Segment>>& traces) {
+  std::map<std::string, PhaseSummary> by_name;
+  for (const auto& iv : log.intervals()) {
+    auto& s = by_name[iv.name];
+    s.name = iv.name;
+    s.time_s += iv.t1 - iv.t0;
+    s.occurrences += 1;
+    if (static_cast<std::size_t>(iv.rank) < traces.size()) {
+      s.energy_j += profiler.energy_between_j(traces[static_cast<std::size_t>(iv.rank)],
+                                              iv.t0, iv.t1);
+    }
+  }
+  std::vector<PhaseSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace isoee::powerpack

@@ -1,0 +1,93 @@
+// Phase annotation, mirroring PowerPack's pp_start/pp_stop markers.
+//
+// Application kernels mark named phases on their rank's virtual timeline;
+// after the run, per-phase time and energy are attributed by integrating the
+// rank's power profile over each phase interval.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "powerpack/profiler.hpp"
+#include "sim/engine.hpp"
+
+namespace isoee::powerpack {
+
+/// One annotated interval on a rank's timeline.
+struct PhaseInterval {
+  int rank = 0;
+  std::string name;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// Thread-safe collector of phase intervals across ranks.
+class PhaseLog {
+ public:
+  void record(int rank, std::string name, double t0, double t1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    intervals_.push_back(PhaseInterval{rank, std::move(name), t0, t1});
+  }
+
+  /// Snapshot of all recorded intervals (call after Engine::run returns).
+  std::vector<PhaseInterval> intervals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intervals_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    intervals_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PhaseInterval> intervals_;
+};
+
+/// RAII phase marker: records [construction, destruction) on the rank's clock.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseLog& log, sim::RankCtx& ctx, std::string name)
+      : log_(&log), ctx_(&ctx), name_(std::move(name)), t0_(ctx.now()) {}
+  ~ScopedPhase() { log_->record(ctx_->rank(), std::move(name_), t0_, ctx_->now()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseLog* log_;
+  sim::RankCtx* ctx_;
+  std::string name_;
+  double t0_;
+};
+
+/// ScopedPhase that degrades to a no-op when no PhaseLog is attached; lets
+/// kernels accept an optional `PhaseLog*` without branching at every marker.
+class OptionalPhase {
+ public:
+  OptionalPhase(PhaseLog* log, sim::RankCtx& ctx, const char* name) {
+    if (log != nullptr) phase_.emplace(*log, ctx, name);
+  }
+
+ private:
+  std::optional<ScopedPhase> phase_;
+};
+
+/// Aggregated per-phase report entry (summed over ranks and occurrences).
+struct PhaseSummary {
+  std::string name;
+  double time_s = 0.0;    // summed across ranks (CPU-seconds style)
+  double energy_j = 0.0;  // requires traces recorded during the run
+  int occurrences = 0;
+};
+
+/// Aggregates a PhaseLog into per-name summaries. `traces` may be empty, in
+/// which case energies are reported as 0 (time attribution still works).
+std::vector<PhaseSummary> summarize_phases(
+    const PhaseLog& log, const Profiler& profiler,
+    const std::vector<std::vector<sim::Segment>>& traces);
+
+}  // namespace isoee::powerpack

@@ -1,0 +1,177 @@
+#include "powerpack/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace isoee::powerpack {
+
+namespace {
+
+/// Component power while a given activity is in effect.
+PowerSample segment_power(const sim::PowerSpec& pw, double base_ghz,
+                          const sim::Segment& seg) {
+  PowerSample s;
+  s.cpu_w = pw.cpu_idle_w;
+  s.mem_w = pw.mem_idle_w;
+  s.io_w = pw.io_idle_w;
+  s.other_w = pw.other_w;
+  switch (seg.activity) {
+    case sim::Activity::kCompute:
+      s.cpu_w += pw.cpu_delta_at(seg.ghz, base_ghz);
+      break;
+    case sim::Activity::kMemory:
+      s.mem_w += pw.mem_delta_w;
+      break;
+    case sim::Activity::kNetwork:
+      s.io_w += pw.io_delta_w;
+      s.cpu_w += pw.net_poll_cpu_factor * pw.cpu_delta_at(seg.ghz, base_ghz);
+      break;
+    case sim::Activity::kIo:
+      s.io_w += pw.io_delta_w;
+      break;
+    case sim::Activity::kIdle:
+      break;
+  }
+  return s;
+}
+
+PowerSample idle_power(const sim::PowerSpec& pw) {
+  PowerSample s;
+  s.cpu_w = pw.cpu_idle_w;
+  s.mem_w = pw.mem_idle_w;
+  s.io_w = pw.io_idle_w;
+  s.other_w = pw.other_w;
+  return s;
+}
+
+}  // namespace
+
+PowerSample Profiler::power_at(std::span<const sim::Segment> trace, double t) const {
+  // Segments are contiguous and sorted by start time; binary-search the one
+  // covering t.
+  PowerSample s;
+  if (trace.empty() || t < trace.front().start ||
+      t >= trace.back().start + trace.back().duration) {
+    s = idle_power(spec_.power);
+    s.t = t;
+    return s;
+  }
+  auto it = std::upper_bound(trace.begin(), trace.end(), t,
+                             [](double value, const sim::Segment& seg) {
+                               return value < seg.start;
+                             });
+  // `it` is the first segment starting after t; the covering one precedes it.
+  const sim::Segment& seg = *(it - 1);
+  if (t < seg.start + seg.duration) {
+    s = segment_power(spec_.power, spec_.cpu.base_ghz, seg);
+  } else {
+    s = idle_power(spec_.power);  // gap (should not happen with contiguous traces)
+  }
+  s.t = t;
+  return s;
+}
+
+std::vector<PowerSample> Profiler::sample_rank(std::span<const sim::Segment> trace,
+                                               const SampleOptions& opts,
+                                               double t_end) const {
+  if (t_end < 0.0) {
+    t_end = trace.empty() ? 0.0 : trace.back().start + trace.back().duration;
+  }
+  util::Xoshiro256 rng(opts.noise_seed);
+  std::vector<PowerSample> out;
+  const auto count = static_cast<std::size_t>(std::floor(t_end / opts.interval_s)) + 1;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) * opts.interval_s;
+    PowerSample s = power_at(trace, t);
+    if (opts.sensor_noise && spec_.noise.enabled) {
+      const double sigma = spec_.noise.sensor_sigma;
+      s.cpu_w *= rng.jitter(sigma);
+      s.mem_w *= rng.jitter(sigma);
+      s.io_w *= rng.jitter(sigma);
+      s.other_w *= rng.jitter(sigma);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<PowerSample> Profiler::sample_job(
+    const std::vector<std::vector<sim::Segment>>& traces, const SampleOptions& opts) const {
+  double t_end = 0.0;
+  for (const auto& trace : traces) {
+    if (!trace.empty()) t_end = std::max(t_end, trace.back().start + trace.back().duration);
+  }
+  util::Xoshiro256 rng(opts.noise_seed);
+  std::vector<PowerSample> out;
+  const auto count = static_cast<std::size_t>(std::floor(t_end / opts.interval_s)) + 1;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) * opts.interval_s;
+    PowerSample sum;
+    sum.t = t;
+    for (const auto& trace : traces) {
+      const PowerSample s = power_at(trace, t);
+      sum.cpu_w += s.cpu_w;
+      sum.mem_w += s.mem_w;
+      sum.io_w += s.io_w;
+      sum.other_w += s.other_w;
+    }
+    if (opts.sensor_noise && spec_.noise.enabled) {
+      const double sigma = spec_.noise.sensor_sigma;
+      sum.cpu_w *= rng.jitter(sigma);
+      sum.mem_w *= rng.jitter(sigma);
+      sum.io_w *= rng.jitter(sigma);
+      sum.other_w *= rng.jitter(sigma);
+    }
+    out.push_back(sum);
+  }
+  return out;
+}
+
+double Profiler::integrate_j(std::span<const PowerSample> samples, double interval_s) {
+  double e = 0.0;
+  for (const auto& s : samples) e += s.total_w() * interval_s;
+  return e;
+}
+
+double Profiler::energy_between_j(std::span<const sim::Segment> trace, double t0,
+                                  double t1) const {
+  double e = 0.0;
+  for (const auto& seg : trace) {
+    const double lo = std::max(t0, seg.start);
+    const double hi = std::min(t1, seg.start + seg.duration);
+    if (hi <= lo) continue;
+    const PowerSample p = segment_power(spec_.power, spec_.cpu.base_ghz, seg);
+    e += p.total_w() * (hi - lo);
+  }
+  return e;
+}
+
+bool write_power_csv(std::span<const PowerSample> samples, const std::string& path) {
+  util::Table table({"t_s", "cpu_W", "mem_W", "io_W", "other_W", "total_W"});
+  for (const auto& s : samples) {
+    table.add_row({util::num(s.t, 6), util::num(s.cpu_w, 3), util::num(s.mem_w, 3),
+                   util::num(s.io_w, 3), util::num(s.other_w, 3),
+                   util::num(s.total_w(), 3)});
+  }
+  return table.write_csv(path);
+}
+
+bool write_segments_csv(const std::vector<std::vector<sim::Segment>>& traces,
+                        const std::string& path) {
+  util::Table table({"rank", "start_s", "duration_s", "activity", "ghz"});
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    for (const auto& seg : traces[r]) {
+      table.add_row({util::num(static_cast<long long>(r)), util::num(seg.start, 9),
+                     util::num(seg.duration, 9), sim::activity_name(seg.activity),
+                     util::num(seg.ghz, 2)});
+    }
+  }
+  return table.write_csv(path);
+}
+
+}  // namespace isoee::powerpack

@@ -1,0 +1,41 @@
+#include "sim/energy.hpp"
+
+namespace isoee::sim {
+
+EnergyBreakdown compute_energy(const TimeBreakdown& time, const PowerSpec& power,
+                               double base_ghz) {
+  EnergyBreakdown e;
+  const double wall = time.total;
+
+  // Idle floor: every component draws its idle power for the whole run
+  // (alpha*T * P_idle-system in Eq 9).
+  const double cpu_idle = wall * power.cpu_idle_w;
+  const double mem_idle = wall * power.mem_idle_w;
+  const double io_idle = wall * power.io_idle_w;
+  const double other = wall * power.other_w;
+
+  // Active increments over issued time. Busy-poll power: a configurable
+  // fraction of the CPU delta is burned while waiting on the network.
+  double cpu_active = 0.0;
+  for (const auto& [ghz, secs] : time.compute_by_ghz) {
+    cpu_active += secs * power.cpu_delta_at(ghz, base_ghz);
+  }
+  if (power.net_poll_cpu_factor > 0.0) {
+    for (const auto& [ghz, secs] : time.network_by_ghz) {
+      cpu_active += power.net_poll_cpu_factor * secs * power.cpu_delta_at(ghz, base_ghz);
+    }
+  }
+  const double mem_active = time.memory_issued * power.mem_delta_w;
+  const double io_active = (time.io + time.network) * power.io_delta_w;
+
+  e.cpu = cpu_idle + cpu_active;
+  e.memory = mem_idle + mem_active;
+  e.io = io_idle + io_active;
+  e.other = other;
+  e.total = e.cpu + e.memory + e.io + e.other;
+  e.idle_floor = cpu_idle + mem_idle + io_idle + other;
+  e.active_increment = cpu_active + mem_active + io_active;
+  return e;
+}
+
+}  // namespace isoee::sim

@@ -1,0 +1,48 @@
+// Energy accounting: turns a rank's TimeBreakdown into joules per component,
+// implementing the paper's component energy model (Eqs 7-12):
+//
+//   E = alpha*T * P_idle-system                      (idle floor over wall time)
+//       + sum_f W_c t_c(f) * DeltaP_c(f)             (CPU active increment)
+//       + W_m t_m * DeltaP_m                         (memory active increment)
+//       + T_io * DeltaP_io                           (I/O active increment)
+//
+// with DeltaP_c(f) = DeltaP_c(f_base) * (f/f_base)^gamma (Eq 20). Network
+// device deltas are dropped by default per Eq 12, but PowerSpec::io_delta_w
+// lets a user re-enable them.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace isoee::sim {
+
+/// Per-component energies in joules. `total` is the sum of the four component
+/// fields; `idle_floor` and `active_increment` are the Eq-9 decomposition of
+/// the same total (idle-state energy over wall time vs. activity increments).
+struct EnergyBreakdown {
+  double cpu = 0.0;
+  double memory = 0.0;
+  double io = 0.0;
+  double other = 0.0;
+  double total = 0.0;
+
+  double idle_floor = 0.0;
+  double active_increment = 0.0;
+
+  void merge(const EnergyBreakdown& e) {
+    cpu += e.cpu;
+    memory += e.memory;
+    io += e.io;
+    other += e.other;
+    total += e.total;
+    idle_floor += e.idle_floor;
+    active_increment += e.active_increment;
+  }
+};
+
+/// Computes the energy of one rank (one core slot) from its time breakdown.
+/// `base_ghz` is the frequency at which PowerSpec::cpu_delta_w is quoted.
+EnergyBreakdown compute_energy(const TimeBreakdown& time, const PowerSpec& power,
+                               double base_ghz);
+
+}  // namespace isoee::sim

@@ -1,0 +1,304 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace isoee::sim {
+
+double RunResult::mean_alpha() const {
+  if (ranks.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& r : ranks) sum += r.alpha;
+  return sum / static_cast<double>(ranks.size());
+}
+
+// ---------------------------------------------------------------------------
+// RankCtx
+// ---------------------------------------------------------------------------
+
+RankCtx::RankCtx(Engine* engine, int rank, int size)
+    : engine_(engine), rank_(rank), size_(size) {
+  const auto& spec = engine_->machine();
+  const auto& opts = engine_->options();
+  ghz_ = opts.initial_ghz > 0.0 ? opts.initial_ghz : spec.cpu.base_ghz;
+  if (!opts.per_rank_ghz.empty()) {
+    ghz_ = opts.per_rank_ghz[static_cast<std::size_t>(rank) % opts.per_rank_ghz.size()];
+  }
+  // Seed noise per (machine seed, rank) so runs are reproducible and ranks
+  // are decorrelated.
+  std::uint64_t s = spec.noise.seed;
+  (void)util::splitmix64(s);
+  noise_rng_.reseed(s + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1));
+  tracing_ = engine_->options().record_trace;
+}
+
+const MachineSpec& RankCtx::machine() const { return engine_->machine(); }
+
+void RankCtx::record_segment(double duration, Activity activity) {
+  if (tracing_ && duration > 0.0) {
+    trace_.push_back(Segment{clock_ - duration, duration, activity, ghz_});
+  }
+}
+
+void RankCtx::advance(double seconds, Activity activity) {
+  if (seconds <= 0.0) return;
+  clock_ += seconds;
+  time_.total = clock_;
+  switch (activity) {
+    case Activity::kCompute:
+      time_.compute_by_ghz[ghz_] += seconds;
+      time_.compute_issued += seconds;
+      break;
+    case Activity::kMemory:
+      time_.memory_wall += seconds;
+      break;
+    case Activity::kNetwork:
+      time_.network += seconds;
+      time_.network_by_ghz[ghz_] += seconds;
+      break;
+    case Activity::kIo:
+      time_.io += seconds;
+      break;
+    case Activity::kIdle:
+      time_.idle += seconds;
+      break;
+  }
+  record_segment(seconds, activity);
+}
+
+void RankCtx::compute(std::uint64_t instructions) {
+  if (instructions == 0) return;
+  const auto& spec = engine_->machine();
+  double secs = static_cast<double>(instructions) * spec.cpu.t_c(ghz_);
+  if (spec.noise.enabled) secs *= noise_rng_.jitter(spec.noise.compute_sigma);
+  counters_.instructions += instructions;
+  advance(secs, Activity::kCompute);
+}
+
+void RankCtx::memory(std::uint64_t accesses, std::uint64_t working_set_bytes) {
+  if (accesses == 0) return;
+  const auto& spec = engine_->machine();
+  const double lat = working_set_bytes > 0 ? spec.mem.access_latency(working_set_bytes)
+                                           : spec.mem.dram_latency_s;
+  double secs = static_cast<double>(accesses) * lat;
+  if (spec.noise.enabled) secs *= noise_rng_.jitter(spec.noise.memory_sigma);
+  counters_.mem_accesses += accesses;
+  time_.memory_issued += secs;
+  advance(secs, Activity::kMemory);
+}
+
+void RankCtx::compute_mem(std::uint64_t instructions, std::uint64_t accesses,
+                          std::uint64_t working_set_bytes) {
+  if (instructions == 0) {
+    memory(accesses, working_set_bytes);
+    return;
+  }
+  if (accesses == 0) {
+    compute(instructions);
+    return;
+  }
+  const auto& spec = engine_->machine();
+  double c_secs = static_cast<double>(instructions) * spec.cpu.t_c(ghz_);
+  const double lat = working_set_bytes > 0 ? spec.mem.access_latency(working_set_bytes)
+                                           : spec.mem.dram_latency_s;
+  double m_secs = static_cast<double>(accesses) * lat;
+  if (spec.noise.enabled) {
+    c_secs *= noise_rng_.jitter(spec.noise.compute_sigma);
+    m_secs *= noise_rng_.jitter(spec.noise.memory_sigma);
+  }
+  counters_.instructions += instructions;
+  counters_.mem_accesses += accesses;
+
+  // The overlap-capable fraction of the shorter side is hidden (prefetching /
+  // out-of-order execution). Issued memory time is charged in full for
+  // energy (the DRAM is busy for all of it); wall time shrinks.
+  const double hidden = spec.mem_overlap * std::min(c_secs, m_secs);
+  time_.memory_issued += m_secs;
+  advance(c_secs, Activity::kCompute);
+  advance(m_secs - hidden, Activity::kMemory);
+}
+
+void RankCtx::io(double seconds) {
+  if (seconds <= 0.0) return;
+  advance(seconds, Activity::kIo);
+}
+
+void RankCtx::disk_write(std::uint64_t bytes) {
+  const auto& spec = engine_->machine();
+  double secs = spec.disk.access_time(bytes);
+  if (spec.noise.enabled) secs *= noise_rng_.jitter(spec.noise.io_sigma);
+  counters_.io_operations += 1;
+  counters_.io_bytes += bytes;
+  advance(secs, Activity::kIo);
+}
+
+void RankCtx::disk_read(std::uint64_t bytes) { disk_write(bytes); }
+
+void RankCtx::idle(double seconds) {
+  if (seconds <= 0.0) return;
+  advance(seconds, Activity::kIdle);
+}
+
+double RankCtx::set_frequency(double ghz) {
+  // Snap to the nearest available DVFS gear (ties go to the faster gear,
+  // since gears are listed descending).
+  const auto& gears = engine_->machine().cpu.gears_ghz;
+  double chosen = gears.front();
+  double best = std::abs(gears.front() - ghz);
+  for (double g : gears) {
+    const double d = std::abs(g - ghz);
+    if (d < best) {
+      best = d;
+      chosen = g;
+    }
+  }
+  if (chosen != ghz_) {
+    ghz_ = chosen;
+    ++counters_.dvfs_transitions;
+  }
+  return ghz_;
+}
+
+void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("send_bytes: bad destination rank");
+  const auto& spec = engine_->machine();
+
+  // Injection overhead charged to the sender.
+  double ts = spec.net.t_s;
+  double per_byte = spec.net.t_w();
+  if (spec.noise.enabled) {
+    const double j = noise_rng_.jitter(spec.noise.network_sigma);
+    ts *= j;
+    per_byte *= j;
+  }
+  advance(ts, Activity::kNetwork);
+
+  Engine::Message msg;
+  msg.arrival = clock_ + static_cast<double>(payload.size()) * per_byte;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  counters_.messages_sent += 1;
+  counters_.bytes_sent += payload.size();
+  engine_->deliver(dst, rank_, tag, std::move(msg));
+}
+
+std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
+  if (src < 0 || src >= size_) throw std::out_of_range("recv_bytes: bad source rank");
+  Engine::Message msg = engine_->take(rank_, src, tag);
+  // Completion cannot precede the payload's arrival; the gap is receive wait.
+  const double wait = std::max(0.0, msg.arrival - clock_);
+  advance(wait, Activity::kNetwork);
+  counters_.messages_received += 1;
+  counters_.bytes_received += msg.payload.size();
+  return std::move(msg.payload);
+}
+
+std::vector<std::byte> RankCtx::wait(RecvHandle& handle) {
+  if (handle.done) throw std::logic_error("wait: handle already completed");
+  handle.done = true;
+  return recv_bytes(handle.src, handle.tag);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(MachineSpec spec, Options opts) : spec_(std::move(spec)), opts_(opts) {
+  if (const std::string err = spec_.validate(); !err.empty()) {
+    throw std::invalid_argument("invalid MachineSpec: " + err);
+  }
+}
+
+void Engine::deliver(int dst, int src, int tag, Message msg) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Engine::Message Engine::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto& queue = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] { return !queue.empty(); });
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
+  if (nranks <= 0) throw std::invalid_argument("run: nranks must be positive");
+  if (nranks > spec_.total_cores()) {
+    throw std::invalid_argument("run: nranks exceeds machine cores (" +
+                                std::to_string(spec_.total_cores()) + ")");
+  }
+
+  mailboxes_.clear();
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+
+  std::vector<std::unique_ptr<RankCtx>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    contexts.push_back(std::unique_ptr<RankCtx>(new RankCtx(this, r, nranks)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(*contexts[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Unblock peers waiting on us is not generally possible; tests and
+        // applications are expected to be deadlock-free. We still record the
+        // error and let matched ranks finish or fail on their own.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  mailboxes_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // The job occupies its partition until the slowest rank finishes; ranks
+  // that finish early draw idle power for the remainder (this is what a
+  // PowerPack wall-plug measurement sees).
+  double makespan = 0.0;
+  for (const auto& ctx : contexts) makespan = std::max(makespan, ctx->clock_);
+  for (auto& ctx : contexts) {
+    const double pad = makespan - ctx->clock_;
+    if (pad > 0.0) ctx->idle(pad);
+  }
+
+  RunResult result;
+  result.ranks.reserve(static_cast<std::size_t>(nranks));
+  if (opts_.record_trace) result.traces.reserve(static_cast<std::size_t>(nranks));
+  for (auto& ctx : contexts) {
+    RankResult rr;
+    rr.time = ctx->time_;
+    rr.counters = ctx->counters_;
+    rr.energy = compute_energy(rr.time, spec_.power, spec_.cpu.base_ghz);
+    rr.alpha = rr.time.alpha();
+    result.makespan = std::max(result.makespan, rr.time.total);
+    result.energy.merge(rr.energy);
+    result.time.merge(rr.time);
+    result.counters.merge(rr.counters);
+    if (opts_.record_trace) result.traces.push_back(std::move(ctx->trace_));
+    result.ranks.push_back(std::move(rr));
+  }
+  return result;
+}
+
+}  // namespace isoee::sim

@@ -1,0 +1,215 @@
+// Virtual-time cluster simulator.
+//
+// Each simulated MPI rank runs as a host thread with its own *virtual clock*.
+// Rank code is ordinary C++ calling RankCtx primitives:
+//
+//   ctx.compute(instr)        — advance clock by instr * CPI / f (t_c model)
+//   ctx.memory(acc)           — advance clock by acc * t_m
+//   ctx.compute_mem(i, a)     — fused region; part of the memory time is
+//                               hidden under compute (emergent overlap alpha)
+//   ctx.send_bytes / recv_bytes / irecv+wait — Hockney-model messaging
+//   ctx.set_frequency(ghz)    — DVFS gear switch
+//
+// Timing semantics (conservative, deterministic):
+//   * send charges the sender t_s (injection) and stamps the message with a
+//     departure time; the payload arrives at departure + bytes * t_w.
+//   * recv completes at max(receiver clock, arrival); the gap is charged as
+//     Network time (receive wait).
+//   * Matching is FIFO per (source, tag); wildcards are not supported, which
+//     keeps the simulation deterministic regardless of host scheduling.
+//
+// Because messages carry real payload bytes, application kernels (FFT, CG...)
+// compute real numerics and can be verified against reference results while
+// the virtual clocks and power accounting produce the observables the
+// iso-energy-efficiency model consumes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "sim/energy.hpp"
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace isoee::sim {
+
+class Engine;
+
+/// Outcome of one rank's simulated execution.
+struct RankResult {
+  TimeBreakdown time;
+  RankCounters counters;
+  EnergyBreakdown energy;
+  double alpha = 1.0;  // measured overlap factor (Section VI.F)
+};
+
+/// Outcome of a whole simulated job.
+struct RunResult {
+  std::vector<RankResult> ranks;
+  double makespan = 0.0;         // max final virtual clock over ranks
+  EnergyBreakdown energy;        // sum over ranks
+  TimeBreakdown time;            // sum over ranks (issued times add up)
+  RankCounters counters;         // sum over ranks
+
+  /// Per-rank timeline segments; only populated when Options::record_trace.
+  std::vector<std::vector<Segment>> traces;
+
+  double total_energy_j() const { return energy.total; }
+  /// Mean measured overlap factor over ranks.
+  double mean_alpha() const;
+};
+
+/// Handle given to rank bodies; all simulation primitives live here.
+class RankCtx {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  double now() const { return clock_; }
+  const MachineSpec& machine() const;
+
+  // --- computation / memory -------------------------------------------------
+  /// Executes `instructions` on-chip instructions at the current gear.
+  void compute(std::uint64_t instructions);
+
+  /// Performs `accesses` off-chip memory accesses. If `working_set_bytes` is
+  /// nonzero the per-access latency follows the cache-hierarchy curve;
+  /// otherwise the DRAM latency (the model's t_m) is charged.
+  void memory(std::uint64_t accesses, std::uint64_t working_set_bytes = 0);
+
+  /// Fused compute+memory region: the machine's mem_overlap fraction of the
+  /// shorter side is hidden, modelling out-of-order/prefetch overlap.
+  void compute_mem(std::uint64_t instructions, std::uint64_t accesses,
+                   std::uint64_t working_set_bytes = 0);
+
+  /// Flat I/O access of the given duration (paper's simple T_io model).
+  void io(double seconds);
+
+  /// Disk write/read of `bytes` through the machine's DiskSpec (latency +
+  /// bandwidth), charged as Io activity with the io-noise jitter.
+  void disk_write(std::uint64_t bytes);
+  void disk_read(std::uint64_t bytes);
+
+  /// Advances the clock with no component active (explicit idle).
+  void idle(double seconds);
+
+  // --- DVFS ------------------------------------------------------------------
+  /// Switches to the closest available gear <= requested (clamped to range).
+  /// Returns the gear actually selected.
+  double set_frequency(double ghz);
+  double frequency() const { return ghz_; }
+
+  // --- messaging ---------------------------------------------------------
+  /// Eager send: never blocks; charges t_s to this rank.
+  void send_bytes(int dst, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive; returns the payload. FIFO per (src, tag).
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Deferred receive handle for communication/computation overlap.
+  struct RecvHandle {
+    int src = -1;
+    int tag = -1;
+    bool done = false;
+  };
+  RecvHandle irecv(int src, int tag) { return RecvHandle{src, tag, false}; }
+  /// Completes a deferred receive (blocking if the message is not here yet).
+  std::vector<std::byte> wait(RecvHandle& handle);
+
+  /// Typed convenience: send/recv a span of trivially copyable values.
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, std::as_bytes(values));
+  }
+  template <typename T>
+  void recv(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(src, tag);
+    if (bytes.size() != out.size_bytes()) throw std::runtime_error("recv size mismatch");
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+
+  // --- introspection ------------------------------------------------------
+  const RankCounters& counters() const { return counters_; }
+  const TimeBreakdown& time() const { return time_; }
+
+ private:
+  friend class Engine;
+  RankCtx(Engine* engine, int rank, int size);
+
+  void advance(double seconds, Activity activity);
+  void record_segment(double duration, Activity activity);
+
+  Engine* engine_;
+  int rank_;
+  int size_;
+  double clock_ = 0.0;
+  double ghz_ = 0.0;
+  TimeBreakdown time_;
+  RankCounters counters_;
+  util::Xoshiro256 noise_rng_;
+  std::vector<Segment> trace_;
+  bool tracing_ = false;
+};
+
+/// Engine construction options.
+struct EngineOptions {
+  bool record_trace = false;  // keep per-rank Segment timelines (Fig 10)
+  double initial_ghz = 0.0;   // 0 -> machine base frequency
+
+  /// DVFS-heterogeneous partitions: when non-empty, rank r starts at
+  /// per_rank_ghz[r % size()] (snapped to a gear). Overrides initial_ghz.
+  /// Used to validate the heterogeneous model extension (model/hetero.hpp).
+  std::vector<double> per_rank_ghz;
+};
+
+/// Simulator engine: owns the machine description and runs jobs.
+class Engine {
+ public:
+  using Options = EngineOptions;
+
+  explicit Engine(MachineSpec spec, Options opts = Options());
+
+  /// Runs `body` on `nranks` simulated ranks (host threads) to completion and
+  /// returns aggregated results. Throws if nranks exceeds the machine's cores
+  /// or if any rank body throws.
+  RunResult run(int nranks, const std::function<void(RankCtx&)>& body);
+
+  const MachineSpec& machine() const { return spec_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  friend class RankCtx;
+
+  struct Message {
+    double arrival = 0.0;  // virtual time at which the payload is available
+    std::vector<std::byte> payload;
+  };
+
+  /// Per-destination mailbox; FIFO queues keyed by (src, tag).
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+  };
+
+  void deliver(int dst, int src, int tag, Message msg);
+  Message take(int dst, int src, int tag);
+
+  MachineSpec spec_;
+  Options opts_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace isoee::sim

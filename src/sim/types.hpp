@@ -1,0 +1,117 @@
+// Core value types shared across the simulator: activity classes, per-rank
+// time breakdowns, hardware counters, and trace segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace isoee::sim {
+
+/// What a rank is doing during a timeline segment. The energy model assigns
+/// component power deltas by activity (paper Eq 9/12): CPU delta during
+/// Compute, memory delta during Memory, optional NIC delta during Network;
+/// Idle/Network otherwise run at system idle power.
+enum class Activity : std::uint8_t {
+  kCompute = 0,
+  kMemory = 1,
+  kNetwork = 2,  // message injection and receive wait
+  kIo = 3,
+  kIdle = 4,
+};
+
+inline const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return "compute";
+    case Activity::kMemory: return "memory";
+    case Activity::kNetwork: return "network";
+    case Activity::kIo: return "io";
+    case Activity::kIdle: return "idle";
+  }
+  return "?";
+}
+
+/// One contiguous span of a rank's virtual timeline (recorded when tracing is
+/// enabled; the PowerPack sampler turns these into power-vs-time profiles).
+struct Segment {
+  double start = 0.0;     // virtual seconds
+  double duration = 0.0;  // wall (virtual) duration of the segment
+  Activity activity = Activity::kIdle;
+  double ghz = 0.0;       // CPU frequency in effect (for Compute segments)
+};
+
+/// Wall-clock and issued-time decomposition of one rank's execution.
+///
+/// "Issued" time is the time a component is busy (W_c*t_c, W_m*t_m in model
+/// terms); "wall" time is what actually elapses after overlap hides part of
+/// the memory time under computation. The paper's Eq 9 charges idle power
+/// over wall time (alpha*T) and component deltas over issued time, which is
+/// exactly the split kept here.
+struct TimeBreakdown {
+  double total = 0.0;  // final virtual clock value (wall)
+
+  std::map<double, double> compute_by_ghz;  // issued compute seconds per gear
+  std::map<double, double> network_by_ghz;  // network seconds per gear (for
+                                            // busy-poll power accounting)
+  double compute_issued = 0.0;
+  double memory_issued = 0.0;
+  double memory_wall = 0.0;  // memory_issued minus time hidden under compute
+  double network = 0.0;      // send injection + receive wait (wall)
+  double io = 0.0;
+  double idle = 0.0;         // explicit idle (Engine-internal barriers etc.)
+
+  /// Theoretical un-overlapped time T = W_c t_c + W_m t_m + T_net + T_io
+  /// (paper Eq 5 extended with communication, Section VI.F).
+  double theoretical() const { return compute_issued + memory_issued + network + io; }
+
+  /// Measured overlap factor alpha = actual / theoretical (Section VI.F).
+  /// Values <= 1 indicate overlap; load imbalance can push it slightly above.
+  double alpha() const {
+    const double t = theoretical();
+    return t > 0.0 ? total / t : 1.0;
+  }
+
+  void merge(const TimeBreakdown& other);
+};
+
+/// Simulated hardware counters per rank — the stand-in for Perfmon/TAU. The
+/// application-dependent workload vector (W_c, W_m, M, B) is read from these.
+struct RankCounters {
+  std::uint64_t instructions = 0;   // on-chip computation workload (W_c share)
+  std::uint64_t mem_accesses = 0;   // off-chip accesses (W_m share)
+  std::uint64_t messages_sent = 0;  // M share
+  std::uint64_t bytes_sent = 0;     // B share
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t io_operations = 0;   // disk reads + writes
+  std::uint64_t io_bytes = 0;
+  std::uint64_t dvfs_transitions = 0;
+
+  void merge(const RankCounters& other);
+};
+
+inline void TimeBreakdown::merge(const TimeBreakdown& other) {
+  total += other.total;
+  for (const auto& [ghz, secs] : other.compute_by_ghz) compute_by_ghz[ghz] += secs;
+  for (const auto& [ghz, secs] : other.network_by_ghz) network_by_ghz[ghz] += secs;
+  compute_issued += other.compute_issued;
+  memory_issued += other.memory_issued;
+  memory_wall += other.memory_wall;
+  network += other.network;
+  io += other.io;
+  idle += other.idle;
+}
+
+inline void RankCounters::merge(const RankCounters& other) {
+  instructions += other.instructions;
+  mem_accesses += other.mem_accesses;
+  messages_sent += other.messages_sent;
+  bytes_sent += other.bytes_sent;
+  messages_received += other.messages_received;
+  bytes_received += other.bytes_received;
+  io_operations += other.io_operations;
+  io_bytes += other.io_bytes;
+  dvfs_transitions += other.dvfs_transitions;
+}
+
+}  // namespace isoee::sim

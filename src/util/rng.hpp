@@ -1,0 +1,150 @@
+// Deterministic random number generation for simulation and workloads.
+//
+// Everything in the simulator must be reproducible from a single seed; we use
+// splitmix64 for seeding and xoshiro256** as the workhorse generator (both
+// public-domain algorithms by Blackman & Vigna). <random> distributions are
+// deliberately avoided because their outputs are not portable across standard
+// library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace isoee::util {
+
+/// splitmix64 step; used to expand a 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (same algorithm NPB EP uses).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double x, y, s;
+    do {
+      x = uniform(-1.0, 1.0);
+      y = uniform(-1.0, 1.0);
+      s = x * x + y * y;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = y * scale;
+    have_spare_ = true;
+    return x * scale;
+  }
+
+  /// Lognormal multiplicative jitter with the given sigma, mean ~1.
+  double jitter(double sigma) { return std::exp(sigma * normal() - 0.5 * sigma * sigma); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+/// NPB-style linear congruential generator (a^k * s mod 2^46), used by the EP
+/// and CG kernels so their random streams match the benchmark definitions.
+class NpbRandom {
+ public:
+  static constexpr double kA = 1220703125.0;  // 5^13, the NPB multiplier
+
+  explicit NpbRandom(double seed = 314159265.0) : seed_(seed) {}
+
+  /// Returns a uniform deviate in (0, 1) and advances the stream.
+  double next() { return randlc(seed_, kA); }
+
+  /// Current raw seed value.
+  double seed() const { return seed_; }
+
+  /// Jump the stream forward by `n` steps (O(log n)), enabling each parallel
+  /// rank to own a disjoint, deterministic slice of one global stream.
+  void skip(std::uint64_t n) {
+    double t = kA;
+    while (n != 0) {
+      if (n & 1ULL) (void)randlc(seed_, t);
+      double tt = t;
+      (void)randlc(t, tt);
+      n >>= 1;
+    }
+  }
+
+  /// Core NPB randlc: x = a*x mod 2^46, returns x * 2^-46. Exactly the
+  /// double-double decomposition from the NPB reference implementation.
+  static double randlc(double& x, double a) {
+    constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+    constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+    const double a1 = static_cast<double>(static_cast<long long>(r23 * a));
+    const double a2 = a - t23 * a1;
+    const double x1 = static_cast<double>(static_cast<long long>(r23 * x));
+    const double x2 = x - t23 * x1;
+    const double t1 = a1 * x2 + a2 * x1;
+    const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+    const double z = t1 - t23 * t2;
+    const double t3 = t23 * z + a2 * x2;
+    const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+    x = t3 - t46 * t4;
+    return r46 * x;
+  }
+
+ private:
+  double seed_;
+};
+
+}  // namespace isoee::util

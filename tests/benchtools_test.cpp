@@ -1,0 +1,96 @@
+// Tests for the calibration tools: lat_mem_rd staircase, mpptest parameter
+// recovery, and full machine-vector calibration against ground truth.
+#include <gtest/gtest.h>
+
+#include "benchtools/calibrate.hpp"
+#include "benchtools/latency.hpp"
+#include "benchtools/mpptest.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace isoee;
+
+sim::MachineSpec machine() {
+  auto m = sim::system_g();
+  m.noise.enabled = false;
+  return m;
+}
+
+TEST(LatMemRd, ReproducesStaircase) {
+  const auto spec = machine();
+  tools::LatMemRdOptions opts;
+  opts.min_ws = 4 * 1024;
+  opts.max_ws = 64ull * 1024 * 1024;
+  opts.accesses_per_point = 100'000;
+  const auto points = tools::lat_mem_rd(spec, opts);
+  ASSERT_GT(points.size(), 5u);
+  // Monotone non-decreasing latency.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].latency_s, points[i - 1].latency_s * 0.999);
+  }
+  // Small working sets near L1 latency; large near DRAM.
+  EXPECT_LT(points.front().latency_s, 3e-9);
+  EXPECT_GT(points.back().latency_s, 0.7 * spec.mem.dram_latency_s);
+}
+
+TEST(LatMemRd, EstimateTmNearDram) {
+  const auto spec = machine();
+  tools::LatMemRdOptions opts;
+  opts.accesses_per_point = 100'000;
+  const double t_m = tools::estimate_t_m(spec, opts);
+  EXPECT_NEAR(t_m, spec.mem.dram_latency_s, 0.05 * spec.mem.dram_latency_s);
+}
+
+TEST(Mpptest, RecoversNetworkParameters) {
+  const auto spec = machine();
+  const auto fit = tools::mpptest(spec);
+  EXPECT_NEAR(fit.t_s, spec.net.t_s, 0.1 * spec.net.t_s);
+  EXPECT_NEAR(fit.t_w, spec.net.t_w(), 0.05 * spec.net.t_w());
+  EXPECT_GT(fit.r2, 0.999);
+  EXPECT_GT(fit.points.size(), 5u);
+}
+
+TEST(Mpptest, WorksOnEthernetToo) {
+  auto spec = sim::dori();
+  spec.noise.enabled = false;
+  const auto fit = tools::mpptest(spec);
+  EXPECT_NEAR(fit.t_s, spec.net.t_s, 0.1 * spec.net.t_s);
+  EXPECT_NEAR(fit.t_w, spec.net.t_w(), 0.05 * spec.net.t_w());
+}
+
+TEST(Calibrate, MatchesNominalWithoutNoise) {
+  const auto spec = machine();
+  const auto measured = tools::calibrate_machine(spec);
+  const auto nominal = tools::nominal_machine_params(spec);
+  EXPECT_NEAR(measured.cpi, nominal.cpi, 0.01 * nominal.cpi);
+  EXPECT_NEAR(measured.t_m, nominal.t_m, 0.05 * nominal.t_m);
+  EXPECT_NEAR(measured.t_s, nominal.t_s, 0.1 * nominal.t_s);
+  EXPECT_NEAR(measured.t_w, nominal.t_w, 0.05 * nominal.t_w);
+  EXPECT_NEAR(measured.p_sys_idle, nominal.p_sys_idle, 1e-6);
+  EXPECT_NEAR(measured.dp_c_base, nominal.dp_c_base, 0.01 * nominal.dp_c_base);
+  EXPECT_NEAR(measured.dp_m, nominal.dp_m, 0.01 * nominal.dp_m);
+  EXPECT_NEAR(measured.gamma, nominal.gamma, 0.02);
+}
+
+TEST(Calibrate, NoiseInducesSmallErrors) {
+  auto spec = machine();
+  spec.noise.enabled = true;
+  const auto measured = tools::calibrate_machine(spec);
+  const auto nominal = tools::nominal_machine_params(spec);
+  // Within a few percent, but generally not exact.
+  EXPECT_NEAR(measured.cpi, nominal.cpi, 0.1 * nominal.cpi);
+  EXPECT_NEAR(measured.t_m, nominal.t_m, 0.15 * nominal.t_m);
+  EXPECT_NEAR(measured.gamma, nominal.gamma, 0.3);
+}
+
+TEST(Calibrate, NominalRoundTripsSpec) {
+  const auto spec = machine();
+  const auto params = tools::nominal_machine_params(spec);
+  EXPECT_EQ(params.name, spec.name);
+  EXPECT_DOUBLE_EQ(params.f_ghz, spec.cpu.base_ghz);
+  EXPECT_DOUBLE_EQ(params.t_c(), spec.cpu.cpi / (spec.cpu.base_ghz * 1e9));
+  EXPECT_DOUBLE_EQ(params.p_sys_idle, spec.power.system_idle_w());
+}
+
+}  // namespace

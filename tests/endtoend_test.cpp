@@ -1,0 +1,167 @@
+// End-to-end property tests: for randomly generated synthetic parallel
+// programs whose application vector (W_c, W_m, M, B, overheads) is known
+// exactly, the analytical model evaluated with the *nominal* machine vector
+// must reproduce the noise-free simulation's energy and wall time to within
+// a small tolerance across machines, rank counts, and frequencies.
+//
+// This is the strongest internal-consistency check in the suite: it couples
+// the simulator's timing/energy semantics, the collective algorithms, and
+// every term of Eqs 13-21 at once, over a randomized family of programs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchtools/calibrate.hpp"
+#include "model/comm.hpp"
+#include "model/model.hpp"
+#include "sim/engine.hpp"
+#include "smpi/comm.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace isoee;
+
+/// A synthetic program: per-rank phases of compute, memory, and an
+/// allreduce, repeated `rounds` times. All quantities are exact, so the
+/// AppParams can be written down without fitting.
+struct SyntheticProgram {
+  std::uint64_t instr_per_rank_round = 0;
+  std::uint64_t mem_per_rank_round = 0;
+  std::size_t allreduce_doubles = 0;
+  int rounds = 1;
+
+  model::AppParams app(int p) const {
+    model::AppParams a;
+    a.alpha = 1.0;  // separate phases: no overlap
+    a.p = p;
+    a.W_c = static_cast<double>(instr_per_rank_round) * rounds * p;
+    a.W_m = static_cast<double>(mem_per_rank_round) * rounds * p;
+    // Collective combine instructions are part of the parallel overhead.
+    const auto vol = model::allreduce_volume(p, allreduce_doubles * 8.0);
+    a.M = vol.messages * rounds;
+    a.B = vol.bytes * rounds;
+    // Recursive doubling: each rank performs one 2-instr/element combine per
+    // exchanged message it receives; in aggregate that is messages * 2 * len.
+    a.dW_oc = vol.messages * 2.0 * static_cast<double>(allreduce_doubles) * rounds;
+    return a;
+  }
+
+  void run(sim::RankCtx& ctx) const {
+    smpi::Comm comm(ctx);
+    std::vector<double> in(allreduce_doubles, 1.0), out(allreduce_doubles);
+    for (int round = 0; round < rounds; ++round) {
+      ctx.compute(instr_per_rank_round);
+      ctx.memory(mem_per_rank_round);
+      if (allreduce_doubles > 0) {
+        comm.allreduce_sum(std::span<const double>(in), std::span<double>(out));
+      }
+    }
+  }
+};
+
+SyntheticProgram random_program(util::Xoshiro256& rng) {
+  SyntheticProgram prog;
+  prog.instr_per_rank_round = 1'000'000 + rng.below(50'000'000);
+  prog.mem_per_rank_round = 10'000 + rng.below(500'000);
+  prog.allreduce_doubles = 16 + rng.below(4096);
+  prog.rounds = 1 + static_cast<int>(rng.below(5));
+  return prog;
+}
+
+class SyntheticSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticSweep, ModelMatchesSimulatorEnergy) {
+  const int p = GetParam();
+  auto spec = sim::system_g();
+  spec.noise.enabled = false;
+  const auto params = tools::nominal_machine_params(spec);
+  util::Xoshiro256 rng(0xABCD + static_cast<std::uint64_t>(p));
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const SyntheticProgram prog = random_program(rng);
+    sim::Engine eng(spec);
+    const auto res = eng.run(p, [&](sim::RankCtx& ctx) { prog.run(ctx); });
+
+    model::IsoEnergyModel m(params);
+    const auto pred = m.predict_energy(prog.app(p));
+    const auto perf = m.predict_performance(prog.app(p));
+
+    // Energy within 3% (residual: allreduce wait skew vs the serialized
+    // M*t_s + B*t_w network-time estimate).
+    EXPECT_NEAR(pred.Ep, res.total_energy_j(), 0.03 * res.total_energy_j())
+        << "p=" << p << " trial=" << trial;
+    // Wall time within 5%.
+    EXPECT_NEAR(perf.Tp, res.makespan, 0.05 * res.makespan);
+  }
+}
+
+TEST_P(SyntheticSweep, ModelMatchesAtEveryGear) {
+  const int p = GetParam();
+  auto spec = sim::system_g();
+  spec.noise.enabled = false;
+  const auto params = tools::nominal_machine_params(spec);
+  util::Xoshiro256 rng(0xBEEF + static_cast<std::uint64_t>(p));
+  const SyntheticProgram prog = random_program(rng);
+
+  for (double f : spec.cpu.gears_ghz) {
+    sim::EngineOptions opts;
+    opts.initial_ghz = f;
+    sim::Engine eng(spec, opts);
+    const auto res = eng.run(p, [&](sim::RankCtx& ctx) { prog.run(ctx); });
+    model::IsoEnergyModel m(params.at_frequency(f));
+    const auto pred = m.predict_energy(prog.app(p));
+    EXPECT_NEAR(pred.Ep, res.total_energy_j(), 0.03 * res.total_energy_j())
+        << "p=" << p << " f=" << f;
+  }
+}
+
+TEST_P(SyntheticSweep, SequentialIsExact) {
+  const int p = GetParam();
+  if (p != 1) return;
+  auto spec = sim::dori();
+  spec.noise.enabled = false;
+  const auto params = tools::nominal_machine_params(spec);
+  util::Xoshiro256 rng(0xF00D);
+  for (int trial = 0; trial < 10; ++trial) {
+    SyntheticProgram prog = random_program(rng);
+    prog.allreduce_doubles = 0;  // no comm: model must be exact
+    sim::Engine eng(spec);
+    const auto res = eng.run(1, [&](sim::RankCtx& ctx) { prog.run(ctx); });
+    model::IsoEnergyModel m(params);
+    const auto pred = m.predict_energy(prog.app(1));
+    EXPECT_NEAR(pred.E1, res.total_energy_j(), 1e-6 * res.total_energy_j());
+    EXPECT_NEAR(pred.Ep, res.total_energy_j(), 1e-6 * res.total_energy_j());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SyntheticSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(SyntheticHetero, MixedGearEnergyMatchesClassSum) {
+  // Per-rank gears: energy must equal the sum of per-class predictions when
+  // work is embarrassingly parallel and pre-split.
+  auto spec = sim::system_g();
+  spec.noise.enabled = false;
+  const auto params = tools::nominal_machine_params(spec);
+
+  const std::uint64_t instr_fast = 400'000'000;
+  const std::uint64_t instr_slow = 250'000'000;
+  sim::EngineOptions opts;
+  opts.per_rank_ghz = {2.8, 1.6};
+  sim::Engine eng(spec, opts);
+  auto res = eng.run(2, [&](sim::RankCtx& ctx) {
+    ctx.compute(ctx.rank() == 0 ? instr_fast : instr_slow);
+  });
+
+  const double t_fast = instr_fast * params.at_frequency(2.8).t_c();
+  const double t_slow = instr_slow * params.at_frequency(1.6).t_c();
+  const double makespan = std::max(t_fast, t_slow);
+  const double expect = 2.0 * makespan * params.p_sys_idle +
+                        t_fast * params.at_frequency(2.8).dp_c() +
+                        t_slow * params.at_frequency(1.6).dp_c();
+  EXPECT_NEAR(res.total_energy_j(), expect, 1e-9 * expect);
+  EXPECT_NEAR(res.makespan, makespan, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,353 @@
+// Tests for the NPB-style kernels: numerical correctness (FFT vs naive DFT,
+// CG vs dense solve, EP deviate statistics, IS sortedness) and the key
+// reproduction invariant — results independent of the processor count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "npb/cg.hpp"
+#include "npb/classes.hpp"
+#include "npb/ep.hpp"
+#include "npb/fft.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace isoee;
+using sim::Engine;
+using sim::RankCtx;
+
+sim::MachineSpec test_machine() {
+  auto m = sim::system_g();
+  m.noise.enabled = false;
+  return m;
+}
+
+// --- FFT ---------------------------------------------------------------------
+
+TEST(Fft, MatchesNaiveDft) {
+  util::Xoshiro256 rng(99);
+  for (std::size_t n : {2u, 4u, 8u, 32u, 128u}) {
+    std::vector<std::complex<double>> data(n);
+    for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    auto expect = npb::dft_reference(data, false);
+    std::vector<std::complex<double>> got = data;
+    npb::fft1d(got, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-9) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, InverseMatchesNaiveDft) {
+  util::Xoshiro256 rng(100);
+  std::vector<std::complex<double>> data(64);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto expect = npb::dft_reference(data, true);
+  std::vector<std::complex<double>> got = data;
+  npb::fft1d(got, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-9);
+    EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripRecoversInput) {
+  util::Xoshiro256 rng(101);
+  std::vector<std::complex<double>> data(256);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto copy = data;
+  npb::fft1d(copy, false);
+  npb::fft1d(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real() / 256.0, data[i].real(), 1e-9);
+    EXPECT_NEAR(copy[i].imag() / 256.0, data[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(npb::fft1d(data, false), std::invalid_argument);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<std::complex<double>> data = {{3.0, -2.0}};
+  npb::fft1d(data, false);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -2.0);
+}
+
+// --- EP ------------------------------------------------------------------------
+
+TEST(Ep, GaussianMomentsReasonable) {
+  Engine eng(test_machine());
+  npb::EpConfig cfg;
+  cfg.trials = 1 << 18;
+  npb::EpResult out;
+  eng.run(1, [&](RankCtx& ctx) { out = npb::ep_rank(ctx, cfg); });
+  // Acceptance ratio of the polar method is pi/4.
+  const double acc = static_cast<double>(out.pairs) / static_cast<double>(cfg.trials);
+  EXPECT_NEAR(acc, 0.7854, 0.01);
+  // Deviates have mean ~0: sums small relative to count.
+  const double norm = static_cast<double>(out.pairs);
+  EXPECT_LT(std::abs(out.sx) / norm, 0.01);
+  EXPECT_LT(std::abs(out.sy) / norm, 0.01);
+  // Annulus counts decrease (Gaussian tails).
+  EXPECT_GT(out.counts[0], out.counts[1]);
+  EXPECT_GT(out.counts[1], out.counts[2]);
+}
+
+TEST(Ep, ResultIndependentOfRankCount) {
+  npb::EpConfig cfg;
+  cfg.trials = 1 << 16;
+  npb::EpResult base;
+  {
+    Engine eng(test_machine());
+    eng.run(1, [&](RankCtx& ctx) { base = npb::ep_rank(ctx, cfg); });
+  }
+  for (int p : {2, 4, 8, 16}) {
+    Engine eng(test_machine());
+    std::vector<npb::EpResult> per_rank(static_cast<std::size_t>(p));
+    eng.run(p, [&](RankCtx& ctx) {
+      per_rank[static_cast<std::size_t>(ctx.rank())] = npb::ep_rank(ctx, cfg);
+    });
+    for (const auto& res : per_rank) {
+      EXPECT_EQ(res.pairs, base.pairs) << "p=" << p;
+      EXPECT_NEAR(res.sx, base.sx, 1e-9 * std::abs(base.sx));
+      EXPECT_NEAR(res.sy, base.sy, 1e-9 * std::abs(base.sy));
+      for (std::size_t a = 0; a < res.counts.size(); ++a) {
+        EXPECT_EQ(res.counts[a], base.counts[a]);
+      }
+    }
+  }
+}
+
+TEST(Ep, MoreRanksShortenMakespan) {
+  npb::EpConfig cfg;
+  cfg.trials = 1 << 18;
+  auto time_at = [&](int p) {
+    Engine eng(test_machine());
+    return eng.run(p, [&](RankCtx& ctx) { (void)npb::ep_rank(ctx, cfg); }).makespan;
+  };
+  const double t1 = time_at(1);
+  const double t8 = time_at(8);
+  EXPECT_NEAR(t1 / t8, 8.0, 0.5);  // EP scales almost perfectly
+}
+
+// --- FT ------------------------------------------------------------------------
+
+TEST(Ft, ChecksumsIndependentOfRankCount) {
+  npb::FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.iters = 3;
+  std::vector<std::complex<double>> base;
+  {
+    Engine eng(test_machine());
+    eng.run(1, [&](RankCtx& ctx) { base = npb::ft_rank(ctx, cfg).checksums; });
+  }
+  ASSERT_EQ(base.size(), 3u);
+  for (int p : {2, 4, 8, 16}) {
+    Engine eng(test_machine());
+    std::vector<std::complex<double>> got;
+    eng.run(p, [&](RankCtx& ctx) {
+      auto res = npb::ft_rank(ctx, cfg);
+      if (ctx.rank() == 0) got = res.checksums;
+    });
+    ASSERT_EQ(got.size(), base.size()) << "p=" << p;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_NEAR(got[i].real(), base[i].real(), 1e-6 * std::abs(base[i].real()) + 1e-9)
+          << "p=" << p << " iter=" << i;
+      EXPECT_NEAR(got[i].imag(), base[i].imag(), 1e-6 * std::abs(base[i].imag()) + 1e-9);
+    }
+  }
+}
+
+TEST(Ft, ZeroEvolveRoundTripsToInitialField) {
+  // With evolve_alpha = 0 the evolve factor is 1, so every iteration's field
+  // is the inverse FFT of the forward FFT: the initial data. The checksum
+  // must then equal the direct sum over the checksum points of the input.
+  npb::FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.iters = 2;
+  cfg.evolve_alpha = 0.0;
+
+  // Direct checksum from the raw stream.
+  const std::uint64_t n = cfg.total_points();
+  std::vector<std::complex<double>> field(n);
+  util::NpbRandom rng(cfg.seed);
+  for (auto& v : field) v = {rng.next(), rng.next()};
+  std::complex<double> expect(0, 0);
+  for (int j = 1; j <= 1024; ++j) {
+    const int q = (5 * j) % cfg.nx;
+    const int rr = (3 * j) % cfg.ny;
+    const int s = j % cfg.nz;
+    expect += field[(static_cast<std::size_t>(s) * cfg.ny + rr) * cfg.nx +
+                    static_cast<std::size_t>(q)];
+  }
+
+  Engine eng(test_machine());
+  std::vector<std::complex<double>> got;
+  eng.run(4, [&](RankCtx& ctx) {
+    auto res = npb::ft_rank(ctx, cfg);
+    if (ctx.rank() == 0) got = res.checksums;
+  });
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& cs : got) {
+    EXPECT_NEAR(cs.real(), expect.real(), 1e-8 * std::abs(expect.real()));
+    EXPECT_NEAR(cs.imag(), expect.imag(), 1e-8 * std::abs(expect.imag()));
+  }
+}
+
+TEST(Ft, RejectsInvalidDecomposition) {
+  npb::FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  Engine eng(test_machine());
+  // p=32 > nz=16: not divisible.
+  EXPECT_THROW(eng.run(32, [&](RankCtx& ctx) { (void)npb::ft_rank(ctx, cfg); }),
+               std::invalid_argument);
+}
+
+TEST(Ft, CommunicationBytesMatchStructuralModel) {
+  npb::FtConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.iters = 2;
+  const int p = 4;
+  Engine eng(test_machine());
+  auto res = eng.run(p, [&](RankCtx& ctx) { (void)npb::ft_rank(ctx, cfg); });
+  // Transposes: (iters + 1) all-to-alls of blocks of 16*n/p^2 bytes.
+  const double n = static_cast<double>(cfg.total_points());
+  const double transpose_bytes =
+      (cfg.iters + 1.0) * p * (p - 1) * (16.0 * n / (static_cast<double>(p) * p));
+  // Checksum allreduces add a small amount; transposes must dominate and the
+  // total must be within a few percent of the structural model.
+  EXPECT_GT(static_cast<double>(res.counters.bytes_sent), transpose_bytes);
+  EXPECT_LT(static_cast<double>(res.counters.bytes_sent), 1.05 * transpose_bytes);
+}
+
+// --- CG ------------------------------------------------------------------------
+
+TEST(Cg, MatrixIsSymmetric) {
+  npb::CgConfig cfg;
+  cfg.n = 64;
+  cfg.offsets = 3;
+  auto dense = npb::cg_dense_matrix(cfg);
+  for (int i = 0; i < cfg.n; ++i) {
+    for (int j = 0; j < cfg.n; ++j) {
+      EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i) * cfg.n + j],
+                       dense[static_cast<std::size_t>(j) * cfg.n + i]);
+    }
+  }
+}
+
+TEST(Cg, MatrixIsDiagonallyDominant) {
+  npb::CgConfig cfg;
+  cfg.n = 128;
+  auto dense = npb::cg_dense_matrix(cfg);
+  for (int i = 0; i < cfg.n; ++i) {
+    double off = 0.0;
+    for (int j = 0; j < cfg.n; ++j) {
+      if (j != i) off += std::abs(dense[static_cast<std::size_t>(i) * cfg.n + j]);
+    }
+    EXPECT_GT(dense[static_cast<std::size_t>(i) * cfg.n + i], off);
+  }
+}
+
+TEST(Cg, SolvesAccurately) {
+  // With enough inner iterations, the residual of A z = x must be tiny.
+  npb::CgConfig cfg;
+  cfg.n = 256;
+  cfg.outer = 2;
+  cfg.inner = 60;
+  Engine eng(test_machine());
+  npb::CgResult out;
+  eng.run(1, [&](RankCtx& ctx) { out = npb::cg_rank(ctx, cfg); });
+  EXPECT_LT(out.rnorm, 1e-8);
+  EXPECT_GT(out.zeta, cfg.shift);  // shift + positive Rayleigh-quotient term
+}
+
+TEST(Cg, ZetaIndependentOfRankCount) {
+  npb::CgConfig cfg;
+  cfg.n = 512;
+  cfg.outer = 3;
+  cfg.inner = 20;
+  npb::CgResult base;
+  {
+    Engine eng(test_machine());
+    eng.run(1, [&](RankCtx& ctx) { base = npb::cg_rank(ctx, cfg); });
+  }
+  for (int p : {2, 3, 4, 8}) {  // includes a non-divisor of 512
+    Engine eng(test_machine());
+    npb::CgResult got;
+    eng.run(p, [&](RankCtx& ctx) {
+      auto res = npb::cg_rank(ctx, cfg);
+      if (ctx.rank() == 0) got = res;
+    });
+    EXPECT_NEAR(got.zeta, base.zeta, 1e-8 * std::abs(base.zeta)) << "p=" << p;
+    EXPECT_EQ(got.nnz, base.nnz);
+  }
+}
+
+TEST(Cg, CommunicationGrowsWithRanks) {
+  npb::CgConfig cfg;
+  cfg.n = 1024;
+  cfg.outer = 2;
+  cfg.inner = 10;
+  auto bytes_at = [&](int p) {
+    Engine eng(test_machine());
+    auto res = eng.run(p, [&](RankCtx& ctx) { (void)npb::cg_rank(ctx, cfg); });
+    return static_cast<double>(res.counters.bytes_sent);
+  };
+  const double b2 = bytes_at(2);
+  const double b8 = bytes_at(8);
+  // Ring allgatherv bytes scale like (p-1)*n: b8/b2 ~ 7.
+  EXPECT_NEAR(b8 / b2, 7.0, 0.8);
+}
+
+// --- IS ------------------------------------------------------------------------
+
+class IsRankCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsRankCounts, SortsAndConservesKeys) {
+  const int p = GetParam();
+  npb::IsConfig cfg;
+  cfg.n_keys = 1 << 16;
+  cfg.key_bits = 14;
+  Engine eng(test_machine());
+  std::vector<npb::IsResult> results(static_cast<std::size_t>(p));
+  eng.run(p, [&](RankCtx& ctx) {
+    results[static_cast<std::size_t>(ctx.rank())] = npb::is_rank(ctx, cfg);
+  });
+  std::uint64_t total = 0;
+  for (const auto& res : results) {
+    EXPECT_TRUE(res.sorted);
+    EXPECT_EQ(res.total_keys, cfg.n_keys);
+    total += res.local_keys;
+  }
+  EXPECT_EQ(total, cfg.n_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, IsRankCounts, ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+// --- classes ----------------------------------------------------------------------
+
+TEST(Classes, ParseAndSizesMonotone) {
+  using npb::ProblemClass;
+  EXPECT_EQ(npb::parse_class("A"), ProblemClass::A);
+  EXPECT_EQ(npb::parse_class("b"), ProblemClass::B);
+  EXPECT_THROW(npb::parse_class("Z"), std::invalid_argument);
+
+  EXPECT_LT(npb::ep_class(ProblemClass::S).trials, npb::ep_class(ProblemClass::B).trials);
+  EXPECT_LT(npb::ft_class(ProblemClass::S).total_points(),
+            npb::ft_class(ProblemClass::B).total_points());
+  EXPECT_LT(npb::cg_class(ProblemClass::S).n, npb::cg_class(ProblemClass::B).n);
+  EXPECT_EQ(npb::cg_class(ProblemClass::B).n, 75000);  // the paper's Fig 9 size
+  EXPECT_LT(npb::is_class(ProblemClass::S).n_keys, npb::is_class(ProblemClass::B).n_keys);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Round-trip tests for calibration serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "model/serialize.hpp"
+
+namespace {
+
+using namespace isoee;
+
+model::MachineParams sample_machine() {
+  model::MachineParams m;
+  m.name = "TestBox";
+  m.cpi = 0.5501;
+  m.f_ghz = 2.4;
+  m.base_ghz = 2.8;
+  m.t_m = 7.83e-8;
+  m.t_s = 2.5e-6;
+  m.t_w = 2.01e-10;
+  m.p_sys_idle = 29.0;
+  m.dp_c_base = 12.0;
+  m.dp_m = 5.0;
+  m.dp_io = 1.5;
+  m.gamma = 2.1;
+  m.poll_factor = 0.7;
+  m.f_comm_ghz = 1.6;
+  return m;
+}
+
+TEST(Serialize, MachineRoundTrip) {
+  const auto m = sample_machine();
+  const auto parsed = model::parse_machine(model::serialize(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, m.name);
+  EXPECT_DOUBLE_EQ(parsed->cpi, m.cpi);
+  EXPECT_DOUBLE_EQ(parsed->f_ghz, m.f_ghz);
+  EXPECT_DOUBLE_EQ(parsed->t_m, m.t_m);
+  EXPECT_DOUBLE_EQ(parsed->t_w, m.t_w);
+  EXPECT_DOUBLE_EQ(parsed->gamma, m.gamma);
+  EXPECT_DOUBLE_EQ(parsed->poll_factor, m.poll_factor);
+  EXPECT_DOUBLE_EQ(parsed->f_comm_ghz, m.f_comm_ghz);
+  // Derived quantities identical after round-trip.
+  EXPECT_DOUBLE_EQ(parsed->t_c(), m.t_c());
+  EXPECT_DOUBLE_EQ(parsed->dp_c(), m.dp_c());
+}
+
+TEST(Serialize, EveryWorkloadTypeRoundTrips) {
+  std::vector<std::unique_ptr<model::WorkloadModel>> models;
+  {
+    auto ep = std::make_unique<model::EpWorkload>();
+    ep->wc_per_trial = 47.123;
+    models.push_back(std::move(ep));
+  }
+  {
+    auto ft = std::make_unique<model::FtWorkload>();
+    ft->wc_nlogn = 55.5;
+    ft->dwom_p = -3.25;
+    models.push_back(std::move(ft));
+  }
+  {
+    auto cg = std::make_unique<model::CgWorkload>();
+    cg->dwom_npm1 = -0.125;
+    models.push_back(std::move(cg));
+  }
+  {
+    auto mg = std::make_unique<model::MgWorkload>();
+    mg->bytes_n23p = 536.0;
+    models.push_back(std::move(mg));
+  }
+  models.push_back(std::make_unique<model::IsWorkload>());
+  {
+    auto ck = std::make_unique<model::CkptWorkload>();
+    ck->io_n = 4.2e-8;
+    models.push_back(std::move(ck));
+  }
+
+  for (const auto& original : models) {
+    const std::string text = model::serialize(*original);
+    const auto parsed = model::parse_workload(text);
+    ASSERT_NE(parsed, nullptr) << text;
+    EXPECT_EQ(parsed->name(), original->name());
+    // The application vectors must agree at several (n, p) points.
+    for (double n : {1e4, 1e6}) {
+      for (int p : {1, 4, 32}) {
+        const auto a = original->at(n, p);
+        const auto b = parsed->at(n, p);
+        EXPECT_DOUBLE_EQ(a.W_c, b.W_c) << original->name();
+        EXPECT_DOUBLE_EQ(a.W_m, b.W_m);
+        EXPECT_DOUBLE_EQ(a.dW_oc, b.dW_oc);
+        EXPECT_DOUBLE_EQ(a.dW_om, b.dW_om);
+        EXPECT_DOUBLE_EQ(a.M, b.M);
+        EXPECT_DOUBLE_EQ(a.B, b.B);
+        EXPECT_DOUBLE_EQ(a.T_io, b.T_io);
+        EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+      }
+    }
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto m = sample_machine();
+  model::CgWorkload cg;
+  cg.wc_n = 12345.6;
+  const std::string path = "/tmp/isoee_serialize_test.calib";
+  ASSERT_TRUE(model::save_calibration(path, m, cg));
+  const auto loaded = model::load_calibration(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->machine.name, "TestBox");
+  EXPECT_EQ(loaded->workload->name(), "CG");
+  EXPECT_DOUBLE_EQ(loaded->workload->at(1000, 4).W_c, cg.at(1000, 4).W_c);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MalformedInputsRejected) {
+  EXPECT_FALSE(model::parse_machine("").has_value());
+  EXPECT_FALSE(model::parse_machine("[workload FT]\nalpha = 1\n").has_value());
+  EXPECT_FALSE(model::parse_machine("[machine\ncpi = 1\n").has_value());
+  EXPECT_EQ(model::parse_workload("[machine]\ncpi = 1\n"), nullptr);
+  EXPECT_EQ(model::parse_workload("[workload BOGUS]\nalpha = 1\n"), nullptr);
+  EXPECT_FALSE(model::load_calibration("/nonexistent/path.calib").has_value());
+}
+
+TEST(Serialize, IgnoresCommentsAndWhitespace) {
+  const std::string text =
+      "# a calibration file\n\n  [machine]  \n  cpi =  0.75  \n\n# trailing comment\n";
+  const auto parsed = model::parse_machine(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->cpi, 0.75);
+}
+
+}  // namespace

@@ -1,0 +1,511 @@
+// Unit and property tests for the virtual-time cluster simulator: machine
+// validation, timing semantics, DVFS, overlap, messaging, noise determinism,
+// and energy conservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace isoee;
+using sim::Engine;
+using sim::MachineSpec;
+using sim::RankCtx;
+
+MachineSpec tiny_machine() {
+  MachineSpec m;
+  m.name = "tiny";
+  m.nodes = 16;
+  m.sockets_per_node = 2;
+  m.cores_per_socket = 4;
+  m.cpu.cpi = 1.0;
+  m.cpu.base_ghz = 2.0;
+  m.cpu.gears_ghz = {2.0, 1.5, 1.0};
+  m.mem.caches = {sim::CacheLevel{32 * 1024, 1e-9}, sim::CacheLevel{1 << 20, 5e-9}};
+  m.mem.dram_latency_s = 100e-9;
+  m.net.t_s = 1e-6;
+  m.net.bandwidth_Bps = 1e9;
+  m.power.cpu_idle_w = 10;
+  m.power.cpu_delta_w = 8;
+  m.power.mem_idle_w = 4;
+  m.power.mem_delta_w = 5;
+  m.power.io_idle_w = 2;
+  m.power.io_delta_w = 0;
+  m.power.other_w = 14;
+  m.power.gamma = 2.0;
+  m.mem_overlap = 0.5;
+  return m;
+}
+
+// --- machine spec ------------------------------------------------------------
+
+TEST(Machine, PresetsValidate) {
+  EXPECT_EQ(sim::system_g().validate(), "");
+  EXPECT_EQ(sim::dori().validate(), "");
+}
+
+TEST(Machine, PresetTopologyMatchesPaper) {
+  const auto g = sim::system_g();
+  EXPECT_EQ(g.nodes, 325);
+  EXPECT_EQ(g.cores_per_node(), 8);
+  EXPECT_DOUBLE_EQ(g.cpu.base_ghz, 2.8);
+  const auto d = sim::dori();
+  EXPECT_EQ(d.nodes, 8);
+  EXPECT_EQ(d.cores_per_node(), 4);
+}
+
+TEST(Machine, ValidateCatchesBadSpecs) {
+  auto m = tiny_machine();
+  m.nodes = 0;
+  EXPECT_NE(m.validate(), "");
+  m = tiny_machine();
+  m.cpu.gears_ghz = {1.0, 2.0};  // ascending: invalid
+  EXPECT_NE(m.validate(), "");
+  m = tiny_machine();
+  m.power.gamma = 0.5;
+  EXPECT_NE(m.validate(), "");
+  m = tiny_machine();
+  m.mem_overlap = 1.5;
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Machine, TcScalesInverselyWithFrequency) {
+  const auto m = tiny_machine();
+  EXPECT_DOUBLE_EQ(m.cpu.t_c(2.0), 1.0 / 2.0e9);
+  EXPECT_DOUBLE_EQ(m.cpu.t_c(1.0), 2.0 * m.cpu.t_c(2.0));
+}
+
+TEST(Machine, MemoryLatencyStaircase) {
+  const auto m = tiny_machine();
+  // Tiny working set: all L1.
+  EXPECT_NEAR(m.mem.access_latency(16 * 1024), 1e-9, 1e-12);
+  // Huge working set: mostly DRAM.
+  EXPECT_GT(m.mem.access_latency(1ull << 30), 90e-9);
+  // Monotone non-decreasing in working set.
+  double prev = 0;
+  for (std::uint64_t ws = 1024; ws <= (1ull << 28); ws *= 4) {
+    const double lat = m.mem.access_latency(ws);
+    EXPECT_GE(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(Machine, CpuDeltaPowerLaw) {
+  const auto m = tiny_machine();
+  const double at_base = m.power.cpu_delta_at(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(at_base, 8.0);
+  // gamma = 2: half frequency -> quarter delta power.
+  EXPECT_NEAR(m.power.cpu_delta_at(1.0, 2.0), 2.0, 1e-12);
+}
+
+// --- engine timing -----------------------------------------------------------
+
+TEST(Engine, ComputeAdvancesClockByTc) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.compute(2'000'000'000); });
+  // 2e9 instructions at CPI=1, 2 GHz -> 1 second.
+  EXPECT_NEAR(res.makespan, 1.0, 1e-9);
+  EXPECT_EQ(res.counters.instructions, 2'000'000'000u);
+}
+
+TEST(Engine, MemoryAdvancesClockByTm) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.memory(10'000'000); });
+  EXPECT_NEAR(res.makespan, 1.0, 1e-9);  // 1e7 * 100ns
+  EXPECT_EQ(res.counters.mem_accesses, 10'000'000u);
+}
+
+TEST(Engine, MemoryWithWorkingSetUsesHierarchy) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.memory(1'000'000, 16 * 1024); });
+  EXPECT_NEAR(res.makespan, 1e-3, 1e-9);  // L1 latency 1ns
+}
+
+TEST(Engine, FusedRegionHidesOverlappedMemoryTime) {
+  Engine eng(tiny_machine());  // mem_overlap = 0.5
+  auto res = eng.run(1, [](RankCtx& ctx) {
+    // compute: 1s; memory: 10M * 100ns = 1s. hidden = 0.5*min = 0.5s.
+    ctx.compute_mem(2'000'000'000, 10'000'000);
+  });
+  EXPECT_NEAR(res.makespan, 1.5, 1e-9);
+  const auto& t = res.ranks[0].time;
+  EXPECT_NEAR(t.memory_issued, 1.0, 1e-9);  // full issued time kept for energy
+  EXPECT_NEAR(t.alpha(), 1.5 / 2.0, 1e-9);  // emergent overlap factor
+}
+
+TEST(Engine, AlphaIsOneWithoutOverlap) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) {
+    ctx.compute(1'000'000'000);
+    ctx.memory(1'000'000);
+  });
+  EXPECT_NEAR(res.ranks[0].alpha, 1.0, 1e-9);
+}
+
+TEST(Engine, DvfsSlowsComputeAndSnapsToGear) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) {
+    EXPECT_DOUBLE_EQ(ctx.set_frequency(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(ctx.set_frequency(1.2), 1.0);   // snaps to nearest gear
+    EXPECT_DOUBLE_EQ(ctx.set_frequency(9.0), 2.0);   // clamps to fastest
+    ctx.set_frequency(1.0);
+    ctx.compute(2'000'000'000);  // at 1 GHz -> 2 seconds
+  });
+  EXPECT_NEAR(res.makespan, 2.0, 1e-9);
+  EXPECT_GE(res.counters.dvfs_transitions, 2u);
+}
+
+TEST(Engine, RejectsBadRankCounts) {
+  Engine eng(tiny_machine());
+  EXPECT_THROW(eng.run(0, [](RankCtx&) {}), std::invalid_argument);
+  EXPECT_THROW(eng.run(10'000, [](RankCtx&) {}), std::invalid_argument);
+}
+
+TEST(Engine, RankBodyExceptionPropagates) {
+  Engine eng(tiny_machine());
+  EXPECT_THROW(eng.run(1, [](RankCtx&) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+// --- messaging ---------------------------------------------------------------
+
+TEST(Engine, PingTransferTimeFollowsHockney) {
+  auto m = tiny_machine();
+  Engine eng(m);
+  auto res = eng.run(2, [](RankCtx& ctx) {
+    std::vector<double> buf(125000);  // 1 MB
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, std::span<const double>(buf));
+    } else {
+      ctx.recv(0, 0, std::span<double>(buf));
+    }
+  });
+  // Receiver clock: sender t_s (1us) + 1MB at 1 GB/s = 1ms.
+  EXPECT_NEAR(res.ranks[1].time.total, 1e-6 + 1e-3, 1e-9);
+  EXPECT_EQ(res.counters.bytes_sent, 1'000'000u);
+  EXPECT_EQ(res.counters.messages_sent, 1u);
+}
+
+TEST(Engine, MessagesCarryPayloadIntact) {
+  Engine eng(tiny_machine());
+  eng.run(2, [](RankCtx& ctx) {
+    std::vector<int> data(100);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 100; ++i) data[static_cast<size_t>(i)] = i * i;
+      ctx.send(1, 7, std::span<const int>(data));
+    } else {
+      ctx.recv(0, 7, std::span<int>(data));
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(data[static_cast<size_t>(i)], i * i);
+    }
+  });
+}
+
+TEST(Engine, FifoOrderPerSourceAndTag) {
+  Engine eng(tiny_machine());
+  eng.run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        ctx.send(1, 3, std::span<const int>(&i, 1));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        ctx.recv(0, 3, std::span<int>(&v, 1));
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Engine, IrecvWaitEnablesOverlap) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(2, [](RankCtx& ctx) {
+    std::vector<double> buf(125000);  // 1 MB -> 1 ms transfer
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, std::span<const double>(buf));
+    } else {
+      auto h = ctx.irecv(0, 0);
+      ctx.compute(2'000'000'000);  // 1 s of compute while the message flies
+      auto bytes = ctx.wait(h);
+      EXPECT_EQ(bytes.size(), 1'000'000u);
+    }
+  });
+  // Message arrived long before compute finished: no receive wait.
+  EXPECT_NEAR(res.ranks[1].time.total, 1.0, 1e-6);
+  EXPECT_LT(res.ranks[1].time.network, 2e-3);
+}
+
+TEST(Engine, SendToInvalidRankThrows) {
+  Engine eng(tiny_machine());
+  EXPECT_THROW(eng.run(1,
+                       [](RankCtx& ctx) {
+                         std::byte b{};
+                         ctx.send_bytes(5, 0, std::span<const std::byte>(&b, 1));
+                       }),
+               std::out_of_range);
+}
+
+// --- determinism & noise -------------------------------------------------------
+
+TEST(Engine, RepeatedRunsBitIdentical) {
+  for (bool noisy : {false, true}) {
+    auto m = tiny_machine();
+    m.noise.enabled = noisy;
+    auto body = [](RankCtx& ctx) {
+      std::vector<double> v(1000, ctx.rank());
+      ctx.compute(1'000'000);
+      ctx.memory(10'000);
+      if (ctx.rank() == 0) {
+        ctx.send(1, 0, std::span<const double>(v));
+      } else if (ctx.rank() == 1) {
+        ctx.recv(0, 0, std::span<double>(v));
+      }
+    };
+    Engine e1(m), e2(m);
+    auto r1 = e1.run(4, body);
+    auto r2 = e2.run(4, body);
+    ASSERT_EQ(r1.ranks.size(), r2.ranks.size());
+    EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+    EXPECT_DOUBLE_EQ(r1.energy.total, r2.energy.total);
+    for (std::size_t i = 0; i < r1.ranks.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r1.ranks[i].time.total, r2.ranks[i].time.total);
+    }
+  }
+}
+
+TEST(Engine, NoiseShiftsTimesSlightly) {
+  auto clean = tiny_machine();
+  auto noisy = tiny_machine();
+  noisy.noise.enabled = true;
+  auto body = [](RankCtx& ctx) { ctx.compute(1'000'000'000); };
+  auto rc = Engine(clean).run(1, body);
+  auto rn = Engine(noisy).run(1, body);
+  EXPECT_NE(rc.makespan, rn.makespan);
+  // ...but only by a few percent (sigma = 0.02 on one long segment).
+  EXPECT_NEAR(rn.makespan / rc.makespan, 1.0, 0.15);
+}
+
+// --- energy ------------------------------------------------------------------
+
+TEST(Energy, IdleFloorPlusDeltas) {
+  auto m = tiny_machine();
+  Engine eng(m);
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.compute(2'000'000'000); });
+  // 1 second at full tilt: idle floor = 30 W * 1 s; cpu delta = 8 W * 1 s.
+  EXPECT_NEAR(res.energy.idle_floor, 30.0, 1e-6);
+  EXPECT_NEAR(res.energy.active_increment, 8.0, 1e-6);
+  EXPECT_NEAR(res.energy.total, 38.0, 1e-6);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(4, [](RankCtx& ctx) {
+    ctx.compute(100'000'000);
+    ctx.memory(100'000);
+    if (ctx.rank() == 0) {
+      std::vector<double> v(1000);
+      ctx.send(1, 0, std::span<const double>(v));
+    } else if (ctx.rank() == 1) {
+      std::vector<double> v(1000);
+      ctx.recv(0, 0, std::span<double>(v));
+    }
+  });
+  const auto& e = res.energy;
+  EXPECT_NEAR(e.total, e.cpu + e.memory + e.io + e.other, 1e-9);
+  EXPECT_NEAR(e.total, e.idle_floor + e.active_increment, 1e-9);
+}
+
+TEST(Energy, DvfsDirectionDependsOnPowerBalance) {
+  // Optimal frequency is f* = f0 * sqrt(P_idle / DeltaP0) for gamma = 2 and
+  // compute-bound work. With a realistic idle floor (30 W) and a small CPU
+  // delta (8 W), racing to idle wins — the paper's CG observation that
+  // *higher* f improves energy efficiency. When dynamic power dominates,
+  // scaling down wins instead. Both directions must emerge from the model.
+  auto body_at = [](double ghz) {
+    return [ghz](RankCtx& ctx) {
+      ctx.set_frequency(ghz);
+      ctx.compute(2'000'000'000);
+    };
+  };
+  {
+    auto m = tiny_machine();  // idle 30 W, delta 8 W -> faster is better
+    auto fast = Engine(m).run(1, body_at(2.0));
+    auto slow = Engine(m).run(1, body_at(1.0));
+    EXPECT_LT(fast.energy.total, slow.energy.total);
+  }
+  {
+    auto m = tiny_machine();
+    m.power.cpu_delta_w = 120.0;  // dynamic power dominates -> slower is better
+    auto fast = Engine(m).run(1, body_at(2.0));
+    auto slow = Engine(m).run(1, body_at(1.0));
+    EXPECT_LT(slow.energy.total, fast.energy.total);
+  }
+}
+
+TEST(Energy, EarlyFinishersPadToMakespanAtIdle) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) ctx.compute(2'000'000'000);  // 1 s
+    // rank 1 does nothing: should be padded with 1 s idle.
+  });
+  EXPECT_NEAR(res.ranks[1].time.total, res.makespan, 1e-9);
+  EXPECT_NEAR(res.ranks[1].time.idle, res.makespan, 1e-9);
+  // Idle rank still burns the idle floor.
+  EXPECT_NEAR(res.ranks[1].energy.total, 30.0 * res.makespan, 1e-6);
+}
+
+TEST(Energy, HigherFrequencyCostsMorePowerPerComputeSecond) {
+  auto m = tiny_machine();
+  auto res = Engine(m).run(1, [](RankCtx& ctx) {
+    ctx.set_frequency(2.0);
+    ctx.compute(1'000'000'000);
+    ctx.set_frequency(1.0);
+    ctx.compute(1'000'000'000);
+  });
+  // compute_by_ghz has both gears recorded.
+  const auto& by = res.ranks[0].time.compute_by_ghz;
+  ASSERT_EQ(by.size(), 2u);
+  EXPECT_NEAR(by.at(2.0), 0.5, 1e-9);
+  EXPECT_NEAR(by.at(1.0), 1.0, 1e-9);
+}
+
+// --- tracing ------------------------------------------------------------------
+
+TEST(Trace, SegmentsAreContiguousAndCoverClock) {
+  sim::EngineOptions opts;
+  opts.record_trace = true;
+  Engine eng(tiny_machine(), opts);
+  auto res = eng.run(2, [](RankCtx& ctx) {
+    ctx.compute(100'000'000);
+    ctx.memory(1'000'000);
+    if (ctx.rank() == 0) {
+      std::vector<double> v(100);
+      ctx.send(1, 0, std::span<const double>(v));
+    } else {
+      std::vector<double> v(100);
+      ctx.recv(0, 0, std::span<double>(v));
+    }
+  });
+  ASSERT_EQ(res.traces.size(), 2u);
+  for (const auto& trace : res.traces) {
+    ASSERT_FALSE(trace.empty());
+    double cursor = 0.0;
+    double covered = 0.0;
+    for (const auto& seg : trace) {
+      EXPECT_NEAR(seg.start, cursor, 1e-12);
+      cursor = seg.start + seg.duration;
+      covered += seg.duration;
+    }
+    EXPECT_NEAR(covered, res.makespan, 1e-9);
+  }
+}
+
+// --- parameterised scaling properties -----------------------------------------
+
+class EngineScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineScaling, EnergyGrowsWithRanksForFixedPerRankWork) {
+  const int p = GetParam();
+  Engine eng(tiny_machine());
+  auto res = eng.run(p, [](RankCtx& ctx) { ctx.compute(100'000'000); });
+  // Same per-rank work: makespan constant, total energy proportional to p.
+  EXPECT_NEAR(res.makespan, 0.05, 1e-9);
+  EXPECT_NEAR(res.energy.total, (30.0 + 8.0) * 0.05 * p, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, EngineScaling, ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+// --- misc engine surface ---------------------------------------------------------
+
+TEST(Engine, IoChargesFlatDuration) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.io(0.25); });
+  EXPECT_NEAR(res.makespan, 0.25, 1e-12);
+  EXPECT_NEAR(res.ranks[0].time.io, 0.25, 1e-12);
+}
+
+TEST(Engine, RecvSizeMismatchThrows) {
+  Engine eng(tiny_machine());
+  EXPECT_THROW(eng.run(2,
+                       [](RankCtx& ctx) {
+                         double v = 1.0;
+                         if (ctx.rank() == 0) {
+                           ctx.send(1, 0, std::span<const double>(&v, 1));
+                         } else {
+                           double out[2];
+                           ctx.recv(0, 0, std::span<double>(out, 2));  // wrong size
+                         }
+                       }),
+               std::runtime_error);
+}
+
+TEST(Engine, WaitTwiceOnHandleThrows) {
+  Engine eng(tiny_machine());
+  EXPECT_THROW(eng.run(2,
+                       [](RankCtx& ctx) {
+                         double v = 1.0;
+                         if (ctx.rank() == 0) {
+                           ctx.send(1, 0, std::span<const double>(&v, 1));
+                           ctx.send(1, 0, std::span<const double>(&v, 1));
+                         } else {
+                           auto h = ctx.irecv(0, 0);
+                           (void)ctx.wait(h);
+                           (void)ctx.wait(h);  // already completed
+                         }
+                       }),
+               std::logic_error);
+}
+
+TEST(Engine, RunResultAggregatesMatchRankSums) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(3, [](RankCtx& ctx) {
+    ctx.compute(100'000'000 * static_cast<std::uint64_t>(ctx.rank() + 1));
+    ctx.memory(10'000);
+  });
+  double e_sum = 0.0, instr = 0.0;
+  for (const auto& r : res.ranks) {
+    e_sum += r.energy.total;
+    instr += static_cast<double>(r.counters.instructions);
+  }
+  EXPECT_NEAR(res.energy.total, e_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(static_cast<double>(res.counters.instructions), instr);
+  // Ranks with less work are idle-padded to the makespan, which inflates
+  // their measured alpha above 1 (imbalance absorbed into the factor).
+  EXPECT_GE(res.mean_alpha(), 1.0);
+  EXPECT_NEAR(res.ranks[2].alpha, 1.0, 1e-6);  // the busiest rank is pure work
+}
+
+TEST(Engine, MemoryZeroWorkingSetUsesDram) {
+  const auto m = tiny_machine();
+  Engine eng(m);
+  auto res = eng.run(1, [](RankCtx& ctx) { ctx.memory(1'000'000, 0); });
+  EXPECT_NEAR(res.makespan, 1'000'000 * m.mem.dram_latency_s, 1e-12);
+}
+
+TEST(Machine, AccessLatencyEdgeCases) {
+  const auto m = tiny_machine();
+  // Zero working set: innermost-level latency.
+  EXPECT_DOUBLE_EQ(m.mem.access_latency(0), m.mem.caches.front().latency_s);
+  // No caches at all: always DRAM.
+  sim::MemorySpec bare;
+  bare.dram_latency_s = 50e-9;
+  EXPECT_DOUBLE_EQ(bare.access_latency(0), 50e-9);
+  EXPECT_DOUBLE_EQ(bare.access_latency(1 << 20), 50e-9);
+}
+
+TEST(Engine, ComputeMemDegenerateArms) {
+  Engine eng(tiny_machine());
+  auto res = eng.run(1, [](RankCtx& ctx) {
+    ctx.compute_mem(0, 1'000'000);     // memory-only path
+    ctx.compute_mem(2'000'000'000, 0); // compute-only path
+    ctx.compute_mem(0, 0);             // no-op
+  });
+  EXPECT_NEAR(res.makespan, 0.1 + 1.0, 1e-9);
+  EXPECT_NEAR(res.ranks[0].alpha, 1.0, 1e-9);  // nothing fused, no overlap
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for the extended collectives (scatter, scatterv, reduce_scatter,
+// scan) plus their structural volume models and the sweep/pipeline send
+// semantics they rely on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "model/comm.hpp"
+#include "sim/engine.hpp"
+#include "smpi/comm.hpp"
+
+namespace {
+
+using namespace isoee;
+using sim::Engine;
+using sim::RankCtx;
+using smpi::Comm;
+
+sim::MachineSpec machine() {
+  auto m = sim::system_g();
+  m.noise.enabled = false;
+  return m;
+}
+
+class ExtraCollectiveP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtraCollectiveP, ScatterDeliversBlocks) {
+  const int p = GetParam();
+  Engine eng(machine());
+  eng.run(p, [p](RankCtx& ctx) {
+    Comm comm(ctx);
+    for (int root = 0; root < std::min(p, 3); ++root) {
+      std::vector<int> in;
+      if (ctx.rank() == root) {
+        in.resize(static_cast<std::size_t>(4 * p));
+        for (int i = 0; i < 4 * p; ++i) in[static_cast<std::size_t>(i)] = root * 10000 + i;
+      }
+      std::vector<int> out(4, -1);
+      comm.scatter(std::span<const int>(in), std::span<int>(out), root);
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(out[static_cast<std::size_t>(j)], root * 10000 + ctx.rank() * 4 + j);
+      }
+    }
+  });
+}
+
+TEST_P(ExtraCollectiveP, ScattervUnevenCounts) {
+  const int p = GetParam();
+  Engine eng(machine());
+  eng.run(p, [p](RankCtx& ctx) {
+    Comm comm(ctx);
+    std::vector<int> counts(static_cast<std::size_t>(p));
+    int total = 0;
+    for (int i = 0; i < p; ++i) {
+      counts[static_cast<std::size_t>(i)] = 1 + (i % 3);
+      total += counts[static_cast<std::size_t>(i)];
+    }
+    std::vector<int> in;
+    if (ctx.rank() == 0) {
+      in.resize(static_cast<std::size_t>(total));
+      std::iota(in.begin(), in.end(), 0);
+    }
+    std::vector<int> out(static_cast<std::size_t>(counts[static_cast<std::size_t>(ctx.rank())]), -1);
+    comm.scatterv(std::span<const int>(in), std::span<const int>(counts),
+                  std::span<int>(out), 0);
+    int offset = 0;
+    for (int i = 0; i < ctx.rank(); ++i) offset += counts[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      EXPECT_EQ(out[j], offset + static_cast<int>(j));
+    }
+  });
+}
+
+TEST_P(ExtraCollectiveP, ReduceScatterSumsAndSplits) {
+  const int p = GetParam();
+  Engine eng(machine());
+  eng.run(p, [p](RankCtx& ctx) {
+    Comm comm(ctx);
+    const std::size_t block = 3;
+    std::vector<long long> in(block * static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = ctx.rank() + static_cast<long long>(i);
+    }
+    std::vector<long long> out(block, -1);
+    comm.reduce_scatter(std::span<const long long>(in), std::span<long long>(out),
+                        [](long long& a, const long long& b) { a += b; });
+    const long long rank_sum = static_cast<long long>(p) * (p - 1) / 2;
+    for (std::size_t j = 0; j < block; ++j) {
+      const auto idx = static_cast<long long>(block) * ctx.rank() + static_cast<long long>(j);
+      EXPECT_EQ(out[j], rank_sum + idx * p);
+    }
+  });
+}
+
+TEST_P(ExtraCollectiveP, ScanComputesInclusivePrefix) {
+  const int p = GetParam();
+  Engine eng(machine());
+  eng.run(p, [](RankCtx& ctx) {
+    Comm comm(ctx);
+    std::vector<double> in(2, ctx.rank() + 1.0), out(2);
+    comm.scan(std::span<const double>(in), std::span<double>(out),
+              [](double& a, const double& b) { a += b; });
+    const double expect = (ctx.rank() + 1.0) * (ctx.rank() + 2.0) / 2.0;
+    EXPECT_DOUBLE_EQ(out[0], expect);
+    EXPECT_DOUBLE_EQ(out[1], expect);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ExtraCollectiveP,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 32));
+
+// --- volume models match simulator counters --------------------------------------
+
+TEST(ExtraVolumes, ScatterMatchesSimulator) {
+  for (int p : {2, 4, 7, 16}) {
+    Engine eng(machine());
+    auto res = eng.run(p, [p](RankCtx& ctx) {
+      Comm comm(ctx);
+      std::vector<double> in(ctx.rank() == 0 ? static_cast<std::size_t>(8 * p) : 0, 1.0);
+      std::vector<double> out(8);
+      comm.scatter(std::span<const double>(in), std::span<double>(out), 0);
+    });
+    const auto vol = model::scatter_volume(p, 64.0);
+    EXPECT_EQ(static_cast<double>(res.counters.messages_sent), vol.messages) << p;
+    EXPECT_EQ(static_cast<double>(res.counters.bytes_sent), vol.bytes) << p;
+  }
+}
+
+TEST(ExtraVolumes, ScanMatchesSimulator) {
+  for (int p : {2, 3, 8, 16}) {
+    Engine eng(machine());
+    auto res = eng.run(p, [](RankCtx& ctx) {
+      Comm comm(ctx);
+      std::vector<double> in(4, 1.0), out(4);
+      comm.scan(std::span<const double>(in), std::span<double>(out),
+                [](double& a, const double& b) { a += b; });
+    });
+    const auto vol = model::scan_volume(p, 32.0);
+    EXPECT_EQ(static_cast<double>(res.counters.messages_sent), vol.messages) << p;
+    EXPECT_EQ(static_cast<double>(res.counters.bytes_sent), vol.bytes) << p;
+  }
+}
+
+TEST(ExtraVolumes, ReduceScatterMatchesSimulator) {
+  for (int p : {2, 4, 8}) {
+    Engine eng(machine());
+    const std::size_t block = 4;
+    auto res = eng.run(p, [block](RankCtx& ctx) {
+      Comm comm(ctx);
+      std::vector<double> in(block * static_cast<std::size_t>(ctx.size()), 1.0);
+      std::vector<double> out(block);
+      comm.reduce_scatter(std::span<const double>(in), std::span<double>(out),
+                          [](double& a, const double& b) { a += b; });
+    });
+    const auto vol = model::reduce_scatter_volume(p, block * 8.0);
+    EXPECT_EQ(static_cast<double>(res.counters.messages_sent), vol.messages) << p;
+    EXPECT_EQ(static_cast<double>(res.counters.bytes_sent), vol.bytes) << p;
+  }
+}
+
+// --- timing property: scan pipeline depth -----------------------------------------
+
+TEST(ExtraTiming, ScanCostLinearInP) {
+  auto time_for = [&](int p) {
+    Engine eng(machine());
+    double worst = 0;
+    std::mutex mu;
+    eng.run(p, [&](RankCtx& ctx) {
+      Comm comm(ctx);
+      comm.barrier();
+      std::vector<double> in(1024, 1.0), out(1024);
+      const double t0 = ctx.now();
+      comm.scan(std::span<const double>(in), std::span<double>(out),
+                [](double& a, const double& b) { a += b; });
+      std::lock_guard<std::mutex> lock(mu);
+      worst = std::max(worst, ctx.now() - t0);
+    });
+    return worst;
+  };
+  const double t4 = time_for(4);
+  const double t16 = time_for(16);
+  // Linear pipeline: 15 hops vs 3 hops.
+  EXPECT_NEAR(t16 / t4, 5.0, 1.0);
+}
+
+}  // namespace
