@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_dvfs.dir/ablation_comm_dvfs.cpp.o"
+  "CMakeFiles/ablation_comm_dvfs.dir/ablation_comm_dvfs.cpp.o.d"
+  "ablation_comm_dvfs"
+  "ablation_comm_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_io.dir/extension_io.cpp.o"
+  "CMakeFiles/extension_io.dir/extension_io.cpp.o.d"
+  "extension_io"
+  "extension_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_efficiency.dir/fig02_efficiency.cpp.o"
+  "CMakeFiles/fig02_efficiency.dir/fig02_efficiency.cpp.o.d"
+  "fig02_efficiency"
+  "fig02_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

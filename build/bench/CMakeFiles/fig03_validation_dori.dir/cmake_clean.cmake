@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_validation_dori.dir/fig03_validation_dori.cpp.o"
+  "CMakeFiles/fig03_validation_dori.dir/fig03_validation_dori.cpp.o.d"
+  "fig03_validation_dori"
+  "fig03_validation_dori.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_validation_dori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

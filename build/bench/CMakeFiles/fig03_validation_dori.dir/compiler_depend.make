@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_validation_dori.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_error_systemg.dir/fig04_error_systemg.cpp.o"
+  "CMakeFiles/fig04_error_systemg.dir/fig04_error_systemg.cpp.o.d"
+  "fig04_error_systemg"
+  "fig04_error_systemg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_error_systemg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

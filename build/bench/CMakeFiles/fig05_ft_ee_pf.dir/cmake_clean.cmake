@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ft_ee_pf.dir/fig05_ft_ee_pf.cpp.o"
+  "CMakeFiles/fig05_ft_ee_pf.dir/fig05_ft_ee_pf.cpp.o.d"
+  "fig05_ft_ee_pf"
+  "fig05_ft_ee_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ft_ee_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

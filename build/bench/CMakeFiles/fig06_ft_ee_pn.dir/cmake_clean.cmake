@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ft_ee_pn.dir/fig06_ft_ee_pn.cpp.o"
+  "CMakeFiles/fig06_ft_ee_pn.dir/fig06_ft_ee_pn.cpp.o.d"
+  "fig06_ft_ee_pn"
+  "fig06_ft_ee_pn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ft_ee_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

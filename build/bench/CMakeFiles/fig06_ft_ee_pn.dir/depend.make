@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_ft_ee_pn.
+# This may be replaced when dependencies are built.

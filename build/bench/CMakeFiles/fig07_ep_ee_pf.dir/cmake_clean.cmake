@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ep_ee_pf.dir/fig07_ep_ee_pf.cpp.o"
+  "CMakeFiles/fig07_ep_ee_pf.dir/fig07_ep_ee_pf.cpp.o.d"
+  "fig07_ep_ee_pf"
+  "fig07_ep_ee_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ep_ee_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_ep_ee_pf.
+# This may be replaced when dependencies are built.

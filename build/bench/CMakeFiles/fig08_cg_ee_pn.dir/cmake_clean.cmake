@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cg_ee_pn.dir/fig08_cg_ee_pn.cpp.o"
+  "CMakeFiles/fig08_cg_ee_pn.dir/fig08_cg_ee_pn.cpp.o.d"
+  "fig08_cg_ee_pn"
+  "fig08_cg_ee_pn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cg_ee_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_cg_ee_pn.
+# This may be replaced when dependencies are built.

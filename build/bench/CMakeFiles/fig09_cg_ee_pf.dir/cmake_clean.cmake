@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cg_ee_pf.dir/fig09_cg_ee_pf.cpp.o"
+  "CMakeFiles/fig09_cg_ee_pf.dir/fig09_cg_ee_pf.cpp.o.d"
+  "fig09_cg_ee_pf"
+  "fig09_cg_ee_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cg_ee_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_cg_ee_pf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso_maintenance.dir/iso_maintenance.cpp.o"
+  "CMakeFiles/iso_maintenance.dir/iso_maintenance.cpp.o.d"
+  "iso_maintenance"
+  "iso_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_tables.dir/params_tables.cpp.o"
+  "CMakeFiles/params_tables.dir/params_tables.cpp.o.d"
+  "params_tables"
+  "params_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

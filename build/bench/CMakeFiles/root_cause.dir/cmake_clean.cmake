@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_cause.dir/root_cause.cpp.o"
+  "CMakeFiles/root_cause.dir/root_cause.cpp.o.d"
+  "root_cause"
+  "root_cause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_cause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_loop.dir/controller_loop.cpp.o"
+  "CMakeFiles/controller_loop.dir/controller_loop.cpp.o.d"
+  "controller_loop"
+  "controller_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_energy_study.dir/npb_energy_study.cpp.o"
+  "CMakeFiles/npb_energy_study.dir/npb_energy_study.cpp.o.d"
+  "npb_energy_study"
+  "npb_energy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_energy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

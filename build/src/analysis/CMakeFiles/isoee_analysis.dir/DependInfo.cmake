@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/baselines.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/baselines.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/baselines.cpp.o.d"
+  "/root/repo/src/analysis/leastsq.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/leastsq.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/leastsq.cpp.o.d"
+  "/root/repo/src/analysis/policy.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/policy.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/policy.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/runner.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/runner.cpp.o.d"
+  "/root/repo/src/analysis/study.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/study.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/study.cpp.o.d"
+  "/root/repo/src/analysis/surface.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/surface.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/surface.cpp.o.d"
+  "/root/repo/src/analysis/workload_fit.cpp" "src/analysis/CMakeFiles/isoee_analysis.dir/workload_fit.cpp.o" "gcc" "src/analysis/CMakeFiles/isoee_analysis.dir/workload_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/isoee_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/isoee_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchtools/CMakeFiles/isoee_benchtools.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerpack/CMakeFiles/isoee_powerpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isoee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/isoee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

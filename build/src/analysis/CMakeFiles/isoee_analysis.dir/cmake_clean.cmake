@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_analysis.dir/baselines.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/baselines.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/leastsq.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/leastsq.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/policy.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/policy.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/runner.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/runner.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/study.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/study.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/surface.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/surface.cpp.o.d"
+  "CMakeFiles/isoee_analysis.dir/workload_fit.cpp.o"
+  "CMakeFiles/isoee_analysis.dir/workload_fit.cpp.o.d"
+  "libisoee_analysis.a"
+  "libisoee_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

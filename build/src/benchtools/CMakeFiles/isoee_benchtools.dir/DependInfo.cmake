@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchtools/calibrate.cpp" "src/benchtools/CMakeFiles/isoee_benchtools.dir/calibrate.cpp.o" "gcc" "src/benchtools/CMakeFiles/isoee_benchtools.dir/calibrate.cpp.o.d"
+  "/root/repo/src/benchtools/latency.cpp" "src/benchtools/CMakeFiles/isoee_benchtools.dir/latency.cpp.o" "gcc" "src/benchtools/CMakeFiles/isoee_benchtools.dir/latency.cpp.o.d"
+  "/root/repo/src/benchtools/mpptest.cpp" "src/benchtools/CMakeFiles/isoee_benchtools.dir/mpptest.cpp.o" "gcc" "src/benchtools/CMakeFiles/isoee_benchtools.dir/mpptest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/isoee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/isoee_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/isoee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_benchtools.dir/calibrate.cpp.o"
+  "CMakeFiles/isoee_benchtools.dir/calibrate.cpp.o.d"
+  "CMakeFiles/isoee_benchtools.dir/latency.cpp.o"
+  "CMakeFiles/isoee_benchtools.dir/latency.cpp.o.d"
+  "CMakeFiles/isoee_benchtools.dir/mpptest.cpp.o"
+  "CMakeFiles/isoee_benchtools.dir/mpptest.cpp.o.d"
+  "libisoee_benchtools.a"
+  "libisoee_benchtools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_benchtools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

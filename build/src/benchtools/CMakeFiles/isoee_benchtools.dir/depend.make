@@ -1,0 +1,2 @@
+# Empty dependencies file for isoee_benchtools.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/hetero.cpp" "src/model/CMakeFiles/isoee_model.dir/hetero.cpp.o" "gcc" "src/model/CMakeFiles/isoee_model.dir/hetero.cpp.o.d"
+  "/root/repo/src/model/isocontour.cpp" "src/model/CMakeFiles/isoee_model.dir/isocontour.cpp.o" "gcc" "src/model/CMakeFiles/isoee_model.dir/isocontour.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/isoee_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/isoee_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/rootcause.cpp" "src/model/CMakeFiles/isoee_model.dir/rootcause.cpp.o" "gcc" "src/model/CMakeFiles/isoee_model.dir/rootcause.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/isoee_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/isoee_model.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isoee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_model.dir/hetero.cpp.o"
+  "CMakeFiles/isoee_model.dir/hetero.cpp.o.d"
+  "CMakeFiles/isoee_model.dir/isocontour.cpp.o"
+  "CMakeFiles/isoee_model.dir/isocontour.cpp.o.d"
+  "CMakeFiles/isoee_model.dir/model.cpp.o"
+  "CMakeFiles/isoee_model.dir/model.cpp.o.d"
+  "CMakeFiles/isoee_model.dir/rootcause.cpp.o"
+  "CMakeFiles/isoee_model.dir/rootcause.cpp.o.d"
+  "CMakeFiles/isoee_model.dir/serialize.cpp.o"
+  "CMakeFiles/isoee_model.dir/serialize.cpp.o.d"
+  "libisoee_model.a"
+  "libisoee_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

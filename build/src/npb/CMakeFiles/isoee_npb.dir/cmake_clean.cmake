@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_npb.dir/cg.cpp.o"
+  "CMakeFiles/isoee_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/ckpt.cpp.o"
+  "CMakeFiles/isoee_npb.dir/ckpt.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/ep.cpp.o"
+  "CMakeFiles/isoee_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/fft.cpp.o"
+  "CMakeFiles/isoee_npb.dir/fft.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/ft.cpp.o"
+  "CMakeFiles/isoee_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/is.cpp.o"
+  "CMakeFiles/isoee_npb.dir/is.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/mg.cpp.o"
+  "CMakeFiles/isoee_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/isoee_npb.dir/sweep.cpp.o"
+  "CMakeFiles/isoee_npb.dir/sweep.cpp.o.d"
+  "libisoee_npb.a"
+  "libisoee_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

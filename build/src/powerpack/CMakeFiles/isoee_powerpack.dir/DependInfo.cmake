@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powerpack/phases.cpp" "src/powerpack/CMakeFiles/isoee_powerpack.dir/phases.cpp.o" "gcc" "src/powerpack/CMakeFiles/isoee_powerpack.dir/phases.cpp.o.d"
+  "/root/repo/src/powerpack/profiler.cpp" "src/powerpack/CMakeFiles/isoee_powerpack.dir/profiler.cpp.o" "gcc" "src/powerpack/CMakeFiles/isoee_powerpack.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/isoee_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/isoee_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_powerpack.dir/phases.cpp.o"
+  "CMakeFiles/isoee_powerpack.dir/phases.cpp.o.d"
+  "CMakeFiles/isoee_powerpack.dir/profiler.cpp.o"
+  "CMakeFiles/isoee_powerpack.dir/profiler.cpp.o.d"
+  "libisoee_powerpack.a"
+  "libisoee_powerpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_powerpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

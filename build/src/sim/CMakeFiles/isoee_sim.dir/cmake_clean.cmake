@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_sim.dir/energy.cpp.o"
+  "CMakeFiles/isoee_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/isoee_sim.dir/engine.cpp.o"
+  "CMakeFiles/isoee_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/isoee_sim.dir/machine.cpp.o"
+  "CMakeFiles/isoee_sim.dir/machine.cpp.o.d"
+  "libisoee_sim.a"
+  "libisoee_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoee_util.dir/cli.cpp.o"
+  "CMakeFiles/isoee_util.dir/cli.cpp.o.d"
+  "CMakeFiles/isoee_util.dir/log.cpp.o"
+  "CMakeFiles/isoee_util.dir/log.cpp.o.d"
+  "CMakeFiles/isoee_util.dir/stats.cpp.o"
+  "CMakeFiles/isoee_util.dir/stats.cpp.o.d"
+  "CMakeFiles/isoee_util.dir/table.cpp.o"
+  "CMakeFiles/isoee_util.dir/table.cpp.o.d"
+  "libisoee_util.a"
+  "libisoee_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoee_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

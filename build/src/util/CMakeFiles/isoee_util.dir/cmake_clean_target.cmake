@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisoee_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchtools_test.dir/benchtools_test.cpp.o"
+  "CMakeFiles/benchtools_test.dir/benchtools_test.cpp.o.d"
+  "benchtools_test"
+  "benchtools_test.pdb"
+  "benchtools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchtools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

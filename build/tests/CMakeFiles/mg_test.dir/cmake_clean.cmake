@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_test.dir/mg_test.cpp.o"
+  "CMakeFiles/mg_test.dir/mg_test.cpp.o.d"
+  "mg_test"
+  "mg_test.pdb"
+  "mg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerpack_test.dir/powerpack_test.cpp.o"
+  "CMakeFiles/powerpack_test.dir/powerpack_test.cpp.o.d"
+  "powerpack_test"
+  "powerpack_test.pdb"
+  "powerpack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

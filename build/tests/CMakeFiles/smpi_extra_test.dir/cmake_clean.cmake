@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpi_extra_test.dir/smpi_extra_test.cpp.o"
+  "CMakeFiles/smpi_extra_test.dir/smpi_extra_test.cpp.o.d"
+  "smpi_extra_test"
+  "smpi_extra_test.pdb"
+  "smpi_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpi_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
