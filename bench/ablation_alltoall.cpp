@@ -41,7 +41,8 @@ double measured_alltoall_time(const sim::MachineSpec& machine, int p, std::size_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   auto machine = sim::system_g();  // no noise: compare against the closed form
   bench::heading("Ablation: all-to-all algorithm vs the Hockney model",
                  "the paper's FT analysis uses pairwise exchange / Hockney");

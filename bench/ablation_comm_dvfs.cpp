@@ -17,7 +17,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   // Dori's 1 Gb/s Ethernet makes FT communication-dominant — the regime the
   // related-work controllers were built for.
   auto machine = bench::with_noise(sim::dori());

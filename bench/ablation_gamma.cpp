@@ -11,7 +11,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Ablation: power exponent gamma in DeltaP_c ~ f^gamma",
                  "paper assumes gamma = 2 (Kim et al.); sensitivity check");

@@ -33,7 +33,8 @@ class NoOverlap final : public model::WorkloadModel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Ablation: overlap factor alpha vs alpha = 1",
                  "the paper's Section VI.F: overlap cannot be ignored");

@@ -17,7 +17,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Baseline comparison: perf isoefficiency / power-aware speedup / EE",
                  "Section II positioning of the iso-energy-efficiency model");

@@ -1,17 +1,62 @@
 // Shared scaffolding for the experiment harnesses (one binary per paper
-// figure): consistent stdout formatting and CSV export under bench_out/.
+// figure): consistent stdout formatting, CSV export, and hermetic-run flags.
+//
+// Every bench main starts with
+//
+//   int main(int argc, char** argv) {
+//     if (!isoee::bench::init(argc, argv)) return 1;
+//     ...
+//   }
+//
+// which gives all experiment binaries two shared overrides:
+//   --csv-dir=DIR   write CSVs under DIR instead of ./bench_out (CI runs
+//                   benches hermetically into a temp dir)
+//   --seed=N        override the machine presets' deterministic noise seed
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "analysis/surface.hpp"
 #include "sim/machine.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace isoee::bench {
 
-inline const char* out_dir() { return "bench_out"; }
+namespace detail {
+inline std::string& csv_dir() {
+  static std::string dir = "bench_out";
+  return dir;
+}
+inline bool& seed_overridden() {
+  static bool set = false;
+  return set;
+}
+inline std::uint64_t& seed_value() {
+  static std::uint64_t seed = 0;
+  return seed;
+}
+}  // namespace detail
+
+/// Parses the shared bench flags. Returns false (after printing usage) on
+/// --help or a malformed flag; benches should exit then.
+inline bool init(int argc, const char* const* argv) {
+  util::Cli cli("experiment harness (shared flags; figures print to stdout + CSV)");
+  cli.flag("csv-dir", detail::csv_dir(), "directory for CSV output")
+      .flag("seed", "", "noise-seed override (empty = machine preset default)");
+  if (!cli.parse(argc, argv)) return false;
+  detail::csv_dir() = cli.get("csv-dir");
+  const std::string seed = cli.get("seed");
+  if (!seed.empty()) {
+    detail::seed_overridden() = true;
+    detail::seed_value() = static_cast<std::uint64_t>(cli.get_int("seed"));
+  }
+  return true;
+}
+
+inline const char* out_dir() { return detail::csv_dir().c_str(); }
 
 /// Prints a section header.
 inline void heading(const std::string& title, const std::string& paper_note) {
@@ -19,7 +64,7 @@ inline void heading(const std::string& title, const std::string& paper_note) {
   if (!paper_note.empty()) std::printf("paper: %s\n", paper_note.c_str());
 }
 
-/// Prints the table and writes it as CSV under bench_out/<name>.csv.
+/// Prints the table and writes it as CSV under <csv-dir>/<name>.csv.
 inline void emit(const util::Table& table, const std::string& name) {
   std::fputs(table.to_string().c_str(), stdout);
   const std::string path = std::string(out_dir()) + "/" + name + ".csv";
@@ -34,8 +79,10 @@ inline void emit_surface(const analysis::EeSurface& surface, const std::string& 
 }
 
 /// The validation experiments run with noise enabled — the "real hardware".
+/// Honours the --seed override so CI can vary or pin the noise process.
 inline sim::MachineSpec with_noise(sim::MachineSpec machine) {
   machine.noise.enabled = true;
+  if (detail::seed_overridden()) machine.noise.seed = detail::seed_value();
   return machine;
 }
 

@@ -13,7 +13,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   auto spec = bench::with_noise(sim::system_g());
   bench::heading("Extension: heterogeneous partitions (fast + throttled classes)",
                  "future work in the paper: 'extend the current model to heterogeneous systems'");

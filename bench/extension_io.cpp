@@ -11,7 +11,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   auto spec = bench::with_noise(sim::system_g());
   spec.power.io_delta_w = 8.0;  // active disk draw per core slot
   bench::heading("Extension: I/O-intensive workload (CKPT) through the T_io path",

@@ -41,7 +41,8 @@ void efficiency_sweep(const sim::MachineSpec& machine, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
 
   efficiency_sweep(machine, "FT", npb::ft_class(npb::ProblemClass::A),

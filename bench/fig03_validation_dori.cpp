@@ -14,7 +14,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::dori());
   bench::heading("Fig 3: energy model validation on Dori (p = 4)",
                  "actual vs predicted total energy; accuracy > 95% for all codes");

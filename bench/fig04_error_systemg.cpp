@@ -16,7 +16,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 4: average model error on SystemG (p = 1..128, class B)",
                  "EP 6.64%, FT 4.99%, CG 8.31% in the paper; CG worst");

@@ -10,7 +10,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 5: FT EE(p, f), fixed n",
                  "p dominates; f has little impact; EE drops as p scales");

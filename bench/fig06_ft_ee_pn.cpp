@@ -9,7 +9,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 6: FT EE(p, n), f = 2.8 GHz",
                  "larger n raises EE; larger p lowers it");

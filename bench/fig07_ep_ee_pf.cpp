@@ -10,7 +10,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 7: EP EE(p, f), fixed n",
                  "EE ~ 1 everywhere: near-ideal iso-energy-efficiency");

@@ -8,7 +8,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 8: CG EE(p, n), f = 2.8 GHz",
                  "EE falls with p, rises with n");

@@ -12,7 +12,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 9: CG EE(p, f), n = 75000",
                  "EE falls with p but rises with f (DVFS up helps CG)");

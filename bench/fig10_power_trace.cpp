@@ -11,7 +11,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   auto machine = bench::with_noise(sim::system_g());
   bench::heading("Fig 10: component power profile of the FT (MPI FFT) run",
                  "per-component power fluctuates above the idle floor per phase");

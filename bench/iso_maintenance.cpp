@@ -56,7 +56,8 @@ void maintain(analysis::EnergyStudy& study, const std::string& name, double targ
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Iso-EE maintenance: scale n along the model's contour n(p)",
                  "the 'iso' claim closed against measured simulations");

@@ -11,7 +11,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   bench::heading("Tables 1 & 2: calibrated machine vectors and fitted application vectors",
                  "the measured/fitted instantiation of the paper's parameter tables");
 

@@ -12,7 +12,8 @@
 
 using namespace isoee;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::init(argc, argv)) return 1;
   const auto machine = bench::with_noise(sim::system_g());
   bench::heading("Root-cause attribution of energy inefficiency (Eq 16 decomposed)",
                  "Section II: 'identify the root cause of energy inefficiency'");

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "governor/gearsel.hpp"
+
 namespace isoee::analysis {
 
 namespace {
@@ -43,14 +45,32 @@ PolicyChoice best_under_power_cap(const model::MachineParams& machine,
   PolicyChoice best;
   best.feasible = false;
   best.time_s = std::numeric_limits<double>::infinity();
-  for (const auto& c : enumerate_configs(machine, workload, n, ps, gears_ghz)) {
-    if (c.avg_power_w > cap_w) continue;
-    if (c.time_s < best.time_s) {
-      best = c;
-      best.feasible = true;
+  PolicyChoice clamped;  // lowest-power fallback when nothing fits the cap
+  clamped.feasible = false;
+  clamped.avg_power_w = std::numeric_limits<double>::infinity();
+  bool have_clamped = false;
+  if (gears_ghz.empty()) return best;
+  for (int p : ps) {
+    // Time is monotone in f at fixed p (t_c = CPI/f, communication is
+    // frequency-independent), so the fastest feasible gear per p is exactly
+    // what the shared selector returns.
+    const auto sel = governor::fastest_gear_under_cap(
+        gears_ghz,
+        [&](double f) { return evaluate(machine, workload, n, p, f).avg_power_w; }, cap_w);
+    const PolicyChoice c = evaluate(machine, workload, n, p, sel.f_ghz);
+    if (sel.feasible) {
+      if (c.time_s < best.time_s) {
+        best = c;
+        best.feasible = true;
+      }
+    } else if (c.avg_power_w < clamped.avg_power_w) {
+      clamped = c;
+      clamped.feasible = false;
+      have_clamped = true;
     }
   }
-  return best;
+  if (best.feasible) return best;
+  return have_clamped ? clamped : best;
 }
 
 PolicyChoice best_energy_under_deadline(const model::MachineParams& machine,

@@ -33,7 +33,12 @@ std::vector<PolicyChoice> enumerate_configs(const model::MachineParams& machine,
 
 /// Fastest configuration whose predicted average power stays under `cap_w`
 /// (power-constrained parallel computation — the paper's title scenario).
-/// Returns feasible=false if no configuration fits the cap.
+/// Per-p gear selection goes through governor::fastest_gear_under_cap — the
+/// same helper the online governor actuates with — so offline planning and
+/// the runtime loop share one definition of the cap math. When no
+/// configuration fits, the result is clamped to the lowest-power choice at
+/// the lowest gear with feasible=false (never a 0-GHz sentinel, which
+/// downstream gear-snapping would promote to the *fastest* gear).
 PolicyChoice best_under_power_cap(const model::MachineParams& machine,
                                   const model::WorkloadModel& workload, double n,
                                   std::span<const int> ps, std::span<const double> gears_ghz,

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "governor/governor.hpp"
 #include "npb/cg.hpp"
 #include "npb/ep.hpp"
 #include "npb/ft.hpp"
@@ -20,6 +21,13 @@ struct RunOptions {
   double f_ghz = 0.0;         // 0 -> machine base frequency
   bool record_trace = false;  // keep segment timelines (power profiles)
   powerpack::PhaseLog* phases = nullptr;
+
+  /// Opt-in closed-loop DVFS: when set, the runner attaches the governor to
+  /// the engine's streaming-sample hook and to the kernel's phase markers
+  /// (allocating an internal PhaseLog if `phases` is null), and calls
+  /// begin_job before the run. The governor's policies then actuate
+  /// set_frequency online while the kernel executes.
+  governor::Governor* governor = nullptr;
 };
 
 sim::RunResult run_ep(const sim::MachineSpec& machine, const npb::EpConfig& config, int p,

@@ -1,0 +1,26 @@
+#include "governor/gearsel.hpp"
+
+namespace isoee::governor {
+
+GearDecision fastest_gear_under_cap(std::span<const double> gears_ghz,
+                                    const std::function<double(double)>& power_at,
+                                    double cap_w) {
+  GearDecision d;
+  if (gears_ghz.empty()) return d;
+  for (double g : gears_ghz) {
+    const double w = power_at(g);
+    if (w <= cap_w) {
+      d.f_ghz = g;
+      d.predicted_w = w;
+      d.feasible = true;
+      return d;
+    }
+  }
+  // Nothing fits: clamp to the lowest (last) gear, flagged infeasible.
+  d.f_ghz = gears_ghz.back();
+  d.predicted_w = power_at(gears_ghz.back());
+  d.feasible = false;
+  return d;
+}
+
+}  // namespace isoee::governor

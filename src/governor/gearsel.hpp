@@ -1,0 +1,30 @@
+// Gear selection under a power cap — the one piece of cap arithmetic shared
+// by the offline policy layer (analysis/policy.*) and the online governor, so
+// the two can never disagree about what "fastest gear under the cap" means.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace isoee::governor {
+
+/// Outcome of a gear selection.
+struct GearDecision {
+  double f_ghz = 0.0;       // gear chosen (always a member of the input list)
+  double predicted_w = 0.0; // predicted power at that gear
+  bool feasible = true;     // false: nothing fit; clamped to the lowest gear
+};
+
+/// Picks the fastest gear whose predicted power stays at or under `cap_w`.
+/// `gears_ghz` must be in descending order (the machine convention);
+/// `power_at(g)` returns the predicted power of running at gear g.
+///
+/// When no gear fits, the decision *clamps to the lowest gear* with
+/// `feasible == false` — callers always get an actionable frequency rather
+/// than a zero sentinel (the historical clamp-at-lowest-gear bug: a 0.0 GHz
+/// "infeasible" answer snapped to the machine's *fastest* gear downstream).
+GearDecision fastest_gear_under_cap(std::span<const double> gears_ghz,
+                                    const std::function<double(double)>& power_at,
+                                    double cap_w);
+
+}  // namespace isoee::governor

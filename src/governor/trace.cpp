@@ -1,0 +1,52 @@
+#include "governor/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/table.hpp"
+
+namespace isoee::governor {
+
+void DecisionTrace::append(DecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<DecisionRecord> DecisionTrace::sorted() const {
+  std::vector<DecisionRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = records_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DecisionRecord& a, const DecisionRecord& b) {
+                     return std::tie(a.t, a.rank, a.reason) < std::tie(b.t, b.rank, b.reason);
+                   });
+  return out;
+}
+
+std::size_t DecisionTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void DecisionTrace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+bool DecisionTrace::write_csv(const std::string& path) const {
+  util::Table table({"t_s", "rank", "phase", "rank_W", "cluster_W", "gear_before_GHz",
+                     "gear_after_GHz", "predicted_W", "predicted_EE", "observed_EE",
+                     "policy", "reason"});
+  for (const auto& r : sorted()) {
+    table.add_row({util::num(r.t, 6), util::num(r.rank), phase_kind_name(r.phase),
+                   util::num(r.rank_w, 3), util::num(r.cluster_w, 3),
+                   util::num(r.gear_before, 2), util::num(r.gear_after, 2),
+                   util::num(r.predicted_w, 3), util::num(r.predicted_ee, 4),
+                   util::num(r.observed_ee, 4), r.policy, r.reason});
+  }
+  return table.write_csv(path);
+}
+
+}  // namespace isoee::governor

@@ -1,0 +1,58 @@
+// Per-decision observability trace of the runtime governor.
+//
+// Every actuation (and every forced decision point, e.g. a phase transition)
+// appends one record: when, what was observed, what was chosen, and what the
+// model predicted would happen. Records are appended concurrently from rank
+// threads; export sorts by (t, rank) so the CSV is deterministic regardless
+// of host scheduling.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace isoee::governor {
+
+/// Phase classification the governor reacts to.
+enum class PhaseKind { kCompute, kCommunication };
+
+inline const char* phase_kind_name(PhaseKind k) {
+  return k == PhaseKind::kCommunication ? "comm" : "compute";
+}
+
+/// One governor decision, as written to the trace CSV.
+struct DecisionRecord {
+  double t = 0.0;             // virtual timestamp of the decision
+  int rank = 0;               // deciding rank
+  PhaseKind phase = PhaseKind::kCompute;
+  double rank_w = 0.0;        // sliding-window rank power at t
+  double cluster_w = 0.0;     // deterministic cluster estimate (SPMD extrapolation)
+  double gear_before = 0.0;   // GHz in effect before the decision
+  double gear_after = 0.0;    // GHz actually selected (post gear-snap)
+  double predicted_w = 0.0;   // policy's predicted cluster power (0 if modelless)
+  double predicted_ee = 0.0;  // model EE at the chosen gear (0 if modelless)
+  double observed_ee = 0.0;   // predicted_ee rescaled by observed/predicted power
+  std::string policy;         // policy name
+  std::string reason;         // short decision tag ("cap-down", "comm-gear", ...)
+};
+
+/// Thread-safe decision collector with deterministic CSV export.
+class DecisionTrace {
+ public:
+  void append(DecisionRecord record);
+
+  /// All records, sorted by (t, rank, reason) — deterministic across reruns.
+  std::vector<DecisionRecord> sorted() const;
+
+  std::size_t size() const;
+  void clear();
+
+  /// Writes the sorted records as CSV. Returns false (and logs) on failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace isoee::governor

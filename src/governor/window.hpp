@@ -1,0 +1,89 @@
+// Sliding-window power estimation on virtual time.
+//
+// The streaming sampler delivers one (start, duration, watts) span per
+// finished engine segment; PowerWindow keeps the spans that intersect the
+// trailing window and reports their time-weighted average power. Virtual-time
+// gaps inside the window (possible when a rank is queried past its last
+// segment, or before its first) are charged at a configurable floor — the
+// system idle power, matching what a wall-plug meter would read.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+namespace isoee::governor {
+
+class PowerWindow {
+ public:
+  /// `window_s` is the averaging horizon; `floor_w` is charged for any part
+  /// of the window not covered by observed spans (idle floor).
+  explicit PowerWindow(double window_s = 0.005, double floor_w = 0.0)
+      : window_s_(window_s), floor_w_(floor_w) {}
+
+  /// Feeds one observed span. Spans must arrive in nondecreasing start order
+  /// (engine segments on one rank's timeline are contiguous and monotone).
+  void push(double start, double duration, double watts) {
+    if (duration <= 0.0) return;
+    if (!seen_any_) {
+      first_t_ = start;
+      seen_any_ = true;
+    }
+    spans_.push_back(Span{start, duration, watts});
+    now_ = std::max(now_, start + duration);
+    // Evict spans that ended before the trailing edge of the window.
+    const double edge = now_ - window_s_;
+    while (!spans_.empty() && spans_.front().start + spans_.front().duration <= edge) {
+      spans_.pop_front();
+    }
+  }
+
+  /// Latest virtual time observed.
+  double now() const { return now_; }
+  bool empty() const { return !seen_any_; }
+  std::size_t spans() const { return spans_.size(); }
+
+  /// Time-weighted average power over [t - window_s, t], clamped to start no
+  /// earlier than the first observed span (so a cold window reports the power
+  /// actually seen so far, not a floor-diluted startup transient). Returns
+  /// the floor when nothing has been observed at or before `t`.
+  double average_w(double t) const {
+    if (!seen_any_ || t <= first_t_) return floor_w_;
+    const double w0 = std::max(t - window_s_, first_t_);
+    const double span_len = t - w0;
+    if (span_len <= 0.0) return floor_w_;
+    double energy = 0.0;
+    double covered = 0.0;
+    for (const auto& s : spans_) {
+      const double lo = std::max(w0, s.start);
+      const double hi = std::min(t, s.start + s.duration);
+      if (hi <= lo) continue;
+      energy += s.watts * (hi - lo);
+      covered += hi - lo;
+    }
+    // Gaps (uncovered virtual time inside the window) burn the idle floor.
+    energy += floor_w_ * std::max(0.0, span_len - covered);
+    return energy / span_len;
+  }
+
+  /// Average at the latest observed time.
+  double average_w() const { return average_w(now_); }
+
+  double window_s() const { return window_s_; }
+  double floor_w() const { return floor_w_; }
+
+ private:
+  struct Span {
+    double start = 0.0;
+    double duration = 0.0;
+    double watts = 0.0;
+  };
+
+  std::deque<Span> spans_;
+  double window_s_;
+  double floor_w_;
+  double now_ = 0.0;
+  double first_t_ = 0.0;
+  bool seen_any_ = false;
+};
+
+}  // namespace isoee::governor

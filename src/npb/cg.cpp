@@ -172,6 +172,7 @@ CgResult cg_rank(sim::RankCtx& ctx, const CgConfig& config, powerpack::PhaseLog*
     double local = 0.0;
     for (std::size_t i = 0; i < nloc; ++i) local += a[i] * b[i];
     charge_vec(1);
+    powerpack::OptionalPhase phase(phases, ctx, "cg.allreduce");
     return comm.allreduce_sum(local);
   };
 
@@ -224,7 +225,10 @@ CgResult cg_rank(sim::RankCtx& ctx, const CgConfig& config, powerpack::PhaseLog*
     charge_vec(3);
     double sums[3] = {local_res, local_xz, local_zz};
     double red[3];
-    comm.allreduce_sum(std::span<const double>(sums, 3), std::span<double>(red, 3));
+    {
+      powerpack::OptionalPhase phase(phases, ctx, "cg.allreduce");
+      comm.allreduce_sum(std::span<const double>(sums, 3), std::span<double>(red, 3));
+    }
     rnorm = std::sqrt(red[0]);
     zeta = config.shift + 1.0 / red[1];
     // x = z / ||z||.

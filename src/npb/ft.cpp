@@ -23,6 +23,7 @@ struct FtState {
   const FtConfig* cfg;
   sim::RankCtx* ctx;
   smpi::Comm comm;
+  powerpack::PhaseLog* phases = nullptr;  // for the transpose comm markers
   int p, r;
   int nzl, nxl;             // local slab thicknesses (z-slab / x-slab)
   std::uint64_t local_pts;  // n / p
@@ -137,7 +138,10 @@ std::vector<Complex> transpose_fwd(FtState& st, const std::vector<Complex>& a) {
   st.charge_pack();
 
   std::vector<Complex> recvbuf(sendbuf.size());
-  st.comm.alltoall(std::span<const Complex>(sendbuf), std::span<Complex>(recvbuf), block);
+  {
+    powerpack::OptionalPhase ph(st.phases, *st.ctx, "ft.transpose");
+    st.comm.alltoall(std::span<const Complex>(sendbuf), std::span<Complex>(recvbuf), block);
+  }
 
   // Unpack into (xl, y, z): source s contributed z in its slab.
   std::vector<Complex> b(block * static_cast<std::size_t>(st.p));
@@ -179,7 +183,10 @@ std::vector<Complex> transpose_bwd(FtState& st, const std::vector<Complex>& b) {
   st.charge_pack();
 
   std::vector<Complex> recvbuf(sendbuf.size());
-  st.comm.alltoall(std::span<const Complex>(sendbuf), std::span<Complex>(recvbuf), block);
+  {
+    powerpack::OptionalPhase ph(st.phases, *st.ctx, "ft.transpose");
+    st.comm.alltoall(std::span<const Complex>(sendbuf), std::span<Complex>(recvbuf), block);
+  }
 
   // Unpack into (zl, y, x): source s contributed x in its x-slab.
   std::vector<Complex> a(block * static_cast<std::size_t>(st.p));
@@ -202,6 +209,7 @@ std::vector<Complex> transpose_bwd(FtState& st, const std::vector<Complex>& b) {
 
 FtResult ft_rank(sim::RankCtx& ctx, const FtConfig& config, powerpack::PhaseLog* phases) {
   FtState st(ctx, config);
+  st.phases = phases;
   const int nx = config.nx, ny = config.ny, nz = config.nz;
   const double inv_n = 1.0 / static_cast<double>(config.total_points());
 

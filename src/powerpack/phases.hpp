@@ -5,6 +5,7 @@
 // rank's power profile over each phase interval.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -26,6 +27,20 @@ struct PhaseInterval {
 /// Thread-safe collector of phase intervals across ranks.
 class PhaseLog {
  public:
+  /// Live phase-transition observer: called on the rank's own thread when a
+  /// ScopedPhase opens (`begin == true`, at entry) and closes (`begin ==
+  /// false`, at exit). This is what lets an online controller react *during*
+  /// a phase (e.g. gear down on entering a collective) instead of post-hoc.
+  /// Set before Engine::run; the callback must be safe to invoke concurrently
+  /// from different rank threads.
+  using Observer = std::function<void(sim::RankCtx&, const std::string& name, bool begin)>;
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  void notify(sim::RankCtx& ctx, const std::string& name, bool begin) const {
+    if (observer_) observer_(ctx, name, begin);
+  }
+
   void record(int rank, std::string name, double t0, double t1) {
     std::lock_guard<std::mutex> lock(mu_);
     intervals_.push_back(PhaseInterval{rank, std::move(name), t0, t1});
@@ -45,14 +60,20 @@ class PhaseLog {
  private:
   mutable std::mutex mu_;
   std::vector<PhaseInterval> intervals_;
+  Observer observer_;
 };
 
 /// RAII phase marker: records [construction, destruction) on the rank's clock.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseLog& log, sim::RankCtx& ctx, std::string name)
-      : log_(&log), ctx_(&ctx), name_(std::move(name)), t0_(ctx.now()) {}
-  ~ScopedPhase() { log_->record(ctx_->rank(), std::move(name_), t0_, ctx_->now()); }
+      : log_(&log), ctx_(&ctx), name_(std::move(name)), t0_(ctx.now()) {
+    log_->notify(*ctx_, name_, /*begin=*/true);
+  }
+  ~ScopedPhase() {
+    log_->notify(*ctx_, name_, /*begin=*/false);
+    log_->record(ctx_->rank(), std::move(name_), t0_, ctx_->now());
+  }
 
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;

@@ -11,8 +11,8 @@ namespace isoee::powerpack {
 namespace {
 
 /// Component power while a given activity is in effect.
-PowerSample segment_power(const sim::PowerSpec& pw, double base_ghz,
-                          const sim::Segment& seg) {
+PowerSample segment_power_impl(const sim::PowerSpec& pw, double base_ghz,
+                               const sim::Segment& seg) {
   PowerSample s;
   s.cpu_w = pw.cpu_idle_w;
   s.mem_w = pw.mem_idle_w;
@@ -49,6 +49,24 @@ PowerSample idle_power(const sim::PowerSpec& pw) {
 
 }  // namespace
 
+PowerSample segment_power(const sim::MachineSpec& spec, const sim::Segment& seg) {
+  return segment_power_impl(spec.power, spec.cpu.base_ghz, seg);
+}
+
+void StreamingSampler::feed(sim::RankCtx& ctx, const sim::Segment& seg) const {
+  StreamSample s;
+  s.rank = ctx.rank();
+  s.t0 = seg.start;
+  s.duration = seg.duration;
+  s.power = segment_power_impl(spec_.power, spec_.cpu.base_ghz, seg);
+  s.power.t = seg.start;
+  for (const auto& cb : subscribers_) cb(ctx, s);
+}
+
+std::function<void(sim::RankCtx&, const sim::Segment&)> StreamingSampler::engine_hook() {
+  return [this](sim::RankCtx& ctx, const sim::Segment& seg) { feed(ctx, seg); };
+}
+
 PowerSample Profiler::power_at(std::span<const sim::Segment> trace, double t) const {
   // Segments are contiguous and sorted by start time; binary-search the one
   // covering t.
@@ -66,7 +84,7 @@ PowerSample Profiler::power_at(std::span<const sim::Segment> trace, double t) co
   // `it` is the first segment starting after t; the covering one precedes it.
   const sim::Segment& seg = *(it - 1);
   if (t < seg.start + seg.duration) {
-    s = segment_power(spec_.power, spec_.cpu.base_ghz, seg);
+    s = segment_power_impl(spec_.power, spec_.cpu.base_ghz, seg);
   } else {
     s = idle_power(spec_.power);  // gap (should not happen with contiguous traces)
   }
@@ -145,7 +163,7 @@ double Profiler::energy_between_j(std::span<const sim::Segment> trace, double t0
     const double lo = std::max(t0, seg.start);
     const double hi = std::min(t1, seg.start + seg.duration);
     if (hi <= lo) continue;
-    const PowerSample p = segment_power(spec_.power, spec_.cpu.base_ghz, seg);
+    const PowerSample p = segment_power_impl(spec_.power, spec_.cpu.base_ghz, seg);
     e += p.total_w() * (hi - lo);
   }
   return e;

@@ -8,6 +8,7 @@
 // energy accounting (a conservation-of-energy test).
 #pragma once
 
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,53 @@ struct SampleOptions {
   double interval_s = 0.001;  // sampling period (virtual seconds)
   bool sensor_noise = false;  // apply NoiseSpec::sensor_sigma jitter
   std::uint64_t noise_seed = 0xB0B3ULL;
+};
+
+/// Component power drawn by one rank while the given segment's activity is in
+/// effect (paper Eq 9/12 applied to one timeline span). Shared by the offline
+/// Profiler and the online StreamingSampler so both report identical watts.
+PowerSample segment_power(const sim::MachineSpec& spec, const sim::Segment& seg);
+
+/// One sensed span delivered to streaming subscribers: the rank's component
+/// power over [t0, t0 + duration) of its virtual timeline.
+struct StreamSample {
+  int rank = 0;
+  double t0 = 0.0;
+  double duration = 0.0;
+  PowerSample power;  // constant over the span (segments are homogeneous)
+};
+
+/// Online counterpart of the Profiler: instead of post-processing recorded
+/// traces, it converts each finished engine segment to a power sample *as the
+/// simulated application runs* and fans it out to subscribers (the runtime
+/// governor's sensor feed). Wire it up with
+///
+///   sim::EngineOptions opts;
+///   opts.on_segment = sampler.engine_hook();
+///
+/// Callbacks run on the emitting rank's host thread; subscribers observing
+/// cross-rank state must synchronise (or, for determinism, derive decisions
+/// only from per-rank streams — see docs/GOVERNOR.md).
+class StreamingSampler {
+ public:
+  using Callback = std::function<void(sim::RankCtx&, const StreamSample&)>;
+
+  explicit StreamingSampler(sim::MachineSpec spec) : spec_(std::move(spec)) {}
+
+  /// Registers a subscriber. Not thread-safe: subscribe before Engine::run.
+  void subscribe(Callback cb) { subscribers_.push_back(std::move(cb)); }
+
+  /// Converts one finished segment to a StreamSample and notifies subscribers.
+  void feed(sim::RankCtx& ctx, const sim::Segment& seg) const;
+
+  /// Adapter bound to this sampler for EngineOptions::on_segment.
+  std::function<void(sim::RankCtx&, const sim::Segment&)> engine_hook();
+
+  const sim::MachineSpec& machine() const { return spec_; }
+
+ private:
+  sim::MachineSpec spec_;
+  std::vector<Callback> subscribers_;
 };
 
 class Profiler {

@@ -69,6 +69,9 @@ void RankCtx::advance(double seconds, Activity activity) {
       break;
   }
   record_segment(seconds, activity);
+  if (engine_->options().on_segment) {
+    engine_->options().on_segment(*this, Segment{clock_ - seconds, seconds, activity, ghz_});
+  }
 }
 
 void RankCtx::compute(std::uint64_t instructions) {

@@ -172,6 +172,14 @@ struct EngineOptions {
   /// per_rank_ghz[r % size()] (snapped to a gear). Overrides initial_ghz.
   /// Used to validate the heterogeneous model extension (model/hetero.hpp).
   std::vector<double> per_rank_ghz;
+
+  /// Streaming segment observer, invoked on the rank's own thread immediately
+  /// after every timeline segment completes (independently of record_trace).
+  /// This is the sensor feed for online controllers (powerpack streaming
+  /// sampler -> governor): the observer may call ctx.set_frequency() to react,
+  /// but must not invoke clock-advancing primitives (compute/memory/io/
+  /// send/recv) — the rank is mid-primitive when it fires.
+  std::function<void(RankCtx&, const Segment&)> on_segment;
 };
 
 /// Simulator engine: owns the machine description and runs jobs.

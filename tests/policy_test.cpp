@@ -54,6 +54,27 @@ TEST(Policy, PowerCapBindsAndPicksFastest) {
   EXPECT_FALSE(none.feasible);
 }
 
+TEST(Policy, ImpossibleCapClampsToLowestGear) {
+  // Regression for the clamp edge case: an unreachable cap must come back as
+  // the lowest-power operating point (lowest gear, smallest p) with
+  // feasible=false — not a 0-GHz sentinel, which gear-snapping downstream
+  // (engine, runners) would promote to the machine's FASTEST gear.
+  model::EpWorkload ep;
+  const int ps[] = {1, 2, 4};
+  const double gears[] = {2.8, 2.4, 2.0, 1.6};
+  const auto m = machine_params();
+  const auto none = analysis::best_under_power_cap(m, ep, 1 << 22, ps, gears, 1.0);
+  EXPECT_FALSE(none.feasible);
+  EXPECT_DOUBLE_EQ(none.f_ghz, 1.6);
+  EXPECT_EQ(none.p, 1);
+  EXPECT_GT(none.avg_power_w, 0.0);
+  // Its model-predicted power really is the minimum over the whole grid.
+  const auto grid = analysis::enumerate_configs(m, ep, 1 << 22, ps, gears);
+  for (const auto& c : grid) {
+    EXPECT_GE(c.avg_power_w, none.avg_power_w - 1e-9);
+  }
+}
+
 TEST(Policy, CapMonotonicity) {
   // A looser cap can never yield a slower best choice.
   model::CgWorkload cg;
