@@ -12,6 +12,14 @@ sim::EngineOptions engine_options(const RunOptions& options) {
   return opts;
 }
 
+/// Applies the RunOptions collective override (if any) onto a copy of the
+/// kernel config; every NPB config carries a `collectives` member.
+template <typename Config>
+Config with_collectives(Config config, const RunOptions& options) {
+  if (options.collectives != nullptr) config.collectives = *options.collectives;
+  return config;
+}
+
 /// Per-run governor attachment: resolves the PhaseLog the kernel should mark
 /// phases on (the caller's, or a run-local one when the governor needs a phase
 /// feed and the caller passed none), subscribes the governor's hooks for the
@@ -41,57 +49,64 @@ struct GovernorAttachment {
 sim::RunResult run_ep(const sim::MachineSpec& machine, const npb::EpConfig& config, int p,
                       const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::ep_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::ep_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_ft(const sim::MachineSpec& machine, const npb::FtConfig& config, int p,
                       const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::ft_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::ft_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_cg(const sim::MachineSpec& machine, const npb::CgConfig& config, int p,
                       const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::cg_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::cg_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_is(const sim::MachineSpec& machine, const npb::IsConfig& config, int p,
                       const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::is_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::is_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_mg(const sim::MachineSpec& machine, const npb::MgConfig& config, int p,
                       const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::mg_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::mg_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_ckpt(const sim::MachineSpec& machine, const npb::CkptConfig& config,
                         int p, const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::ckpt_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::ckpt_rank(ctx, cfg, attach.phases); });
 }
 
 sim::RunResult run_sweep(const sim::MachineSpec& machine, const npb::SweepConfig& config,
                          int p, const RunOptions& options) {
   GovernorAttachment attach(options, p);
+  const auto cfg = with_collectives(config, options);
   sim::Engine engine(machine, engine_options(options));
   return engine.run(
-      p, [&](sim::RankCtx& ctx) { (void)npb::sweep_rank(ctx, config, attach.phases); });
+      p, [&](sim::RankCtx& ctx) { (void)npb::sweep_rank(ctx, cfg, attach.phases); });
 }
 
 double ep_problem_size(const npb::EpConfig& config) {

@@ -22,6 +22,12 @@ struct RunOptions {
   bool record_trace = false;  // keep segment timelines (power profiles)
   powerpack::PhaseLog* phases = nullptr;
 
+  /// When set, overrides the kernel config's collective settings (algorithm
+  /// choice / tuning table / comm gear) without touching the kernel's own
+  /// workload parameters — the knob sweeps and ablation benches use this to
+  /// vary only the communication stack.
+  const smpi::CollectiveConfig* collectives = nullptr;
+
   /// Opt-in closed-loop DVFS: when set, the runner attaches the governor to
   /// the engine's streaming-sample hook and to the kernel's phase markers
   /// (allocating an internal PhaseLog if `phases` is null), and calls

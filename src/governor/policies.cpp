@@ -8,6 +8,12 @@ namespace isoee::governor {
 
 namespace {
 
+/// Shared comm-gear resolution: explicit gear wins, else the lowest gear in
+/// the (descending) list.
+double effective_comm_gear(const std::vector<double>& gears, double comm_gear_ghz) {
+  return comm_gear_ghz > 0.0 ? comm_gear_ghz : gears.back();
+}
+
 // ---------------------------------------------------------------------------
 // NoopPolicy
 // ---------------------------------------------------------------------------
@@ -40,7 +46,7 @@ class CommGearMixin {
         in_comm_ = true;
         saved_idx_ = compute_idx;
       }
-      out.f_ghz = comm_gear_ghz > 0.0 ? comm_gear_ghz : gears.back();
+      out.f_ghz = effective_comm_gear(gears, comm_gear_ghz);
       out.reason = "comm-gear";
       return true;
     }
@@ -206,6 +212,11 @@ class EeTargetPolicy final : public Policy, CommGearMixin {
 };
 
 }  // namespace
+
+double comm_gear_from(const sim::MachineSpec& machine,
+                      const smpi::CollectiveConfig& collectives) {
+  return effective_comm_gear(machine.cpu.gears_ghz, collectives.comm_gear_ghz);
+}
 
 PolicyFactory make_noop_policy() {
   return [] { return std::make_unique<NoopPolicy>(); };

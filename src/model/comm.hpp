@@ -136,4 +136,158 @@ inline double hockney_alltoall_time(int p, double block_bytes, double t_s, doubl
   return static_cast<double>(p - 1) * (t_s + block_bytes * t_w);
 }
 
+// ---------------------------------------------------------------------------
+// Two-level (hierarchical) extension. On a cluster of multi-core nodes the
+// Hockney pair differs per link class: messages between ranks on the same
+// node cross shared memory (t_s_i, t_w_i); messages between nodes cross the
+// NIC (t_s_e, t_w_e). With block placement (rank r on node r / cores_per_node,
+// matching sim::MachineSpec::node_of_rank) the intra/inter split of each
+// collective is again a structural property of the algorithm, so the volumes
+// below walk the same loops as the smpi implementations and classify every
+// message. Tests assert exact equality against the simulator's locality
+// counters. A flat network is the degenerate case intra == inter.
+// ---------------------------------------------------------------------------
+
+/// One Hockney link class: per-message startup and per-byte transfer time.
+struct LinkParams {
+  double t_s = 0.0;
+  double t_w = 0.0;
+
+  double time(double messages, double bytes) const { return messages * t_s + bytes * t_w; }
+};
+
+/// Block rank placement over p ranks with `cores_per_node` ranks per node.
+struct Topology {
+  int p = 1;
+  int cores_per_node = 1;
+
+  int node_of(int rank) const { return rank / cores_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+};
+
+/// A CommVolume split by link class.
+struct SplitVolume {
+  CommVolume intra;
+  CommVolume inter;
+
+  CommVolume total() const { return intra + inter; }
+  void add(bool same_node, double bytes) {
+    CommVolume& v = same_node ? intra : inter;
+    v.messages += 1.0;
+    v.bytes += bytes;
+  }
+  SplitVolume& operator+=(const SplitVolume& o) {
+    intra += o.intra;
+    inter += o.inter;
+    return *this;
+  }
+  friend SplitVolume operator+(SplitVolume a, const SplitVolume& b) { return a += b; }
+};
+
+inline bool is_pow2_p(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+/// Pairwise-exchange alltoall split: step s pairs r with r^s (power-of-two p)
+/// or with (r±s) mod p (ring offsets) — the same partner schedule as
+/// smpi::collectives::alltoall_pairwise.
+inline SplitVolume alltoall_split_volume(const Topology& t, double block_bytes) {
+  SplitVolume v;
+  for (int s = 1; s < t.p; ++s) {
+    for (int r = 0; r < t.p; ++r) {
+      const int dst = is_pow2_p(t.p) ? (r ^ s) : (r + s) % t.p;
+      v.add(t.same_node(r, dst), block_bytes);
+    }
+  }
+  return v;
+}
+
+/// Ring allgather split: p-1 steps, every rank forwards one block to its
+/// right neighbour — only the p ring edges ever carry traffic.
+inline SplitVolume allgather_split_volume(const Topology& t, double block_bytes) {
+  SplitVolume v;
+  if (t.p <= 1) return v;
+  for (int r = 0; r < t.p; ++r) {
+    const bool local = t.same_node(r, (r + 1) % t.p);
+    for (int s = 1; s < t.p; ++s) v.add(local, block_bytes);
+  }
+  return v;
+}
+
+/// Recursive-doubling allreduce split, mirroring
+/// smpi::collectives::allreduce_recursive_doubling: fold-in/out messages for
+/// the non-power-of-two remainder plus log2(pof2) exchange rounds.
+inline SplitVolume allreduce_split_volume(const Topology& t, double bytes) {
+  SplitVolume v;
+  if (t.p <= 1) return v;
+  const int pof2 = floor_pow2(t.p);
+  const int rem = t.p - pof2;
+  for (int r = 0; r < 2 * rem; r += 2) {
+    v.add(t.same_node(r, r + 1), bytes);  // fold-in: even -> odd
+  }
+  for (int r = 0; r < t.p; ++r) {
+    const int newrank = r < 2 * rem ? (r % 2 == 0 ? -1 : r / 2) : r - rem;
+    if (newrank < 0) continue;
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newpeer = newrank ^ mask;
+      const int peer = newpeer < rem ? newpeer * 2 + 1 : newpeer + rem;
+      v.add(t.same_node(r, peer), bytes);  // sendrecv: count the send
+    }
+  }
+  for (int r = 0; r < 2 * rem; r += 2) {
+    v.add(t.same_node(r + 1, r), bytes);  // fold-out: odd -> even
+  }
+  return v;
+}
+
+/// Binomial broadcast split from `root`: each non-root rank receives exactly
+/// once, from the parent obtained by clearing its lowest set relative-rank bit.
+inline SplitVolume bcast_split_volume(const Topology& t, double bytes, int root = 0) {
+  SplitVolume v;
+  for (int r = 0; r < t.p; ++r) {
+    if (r == root) continue;
+    const int vrank = (r - root + t.p) % t.p;
+    const int mask = vrank & -vrank;
+    const int src = (vrank - mask + root) % t.p;
+    v.add(t.same_node(src, r), bytes);
+  }
+  return v;
+}
+
+/// Dissemination barrier split: round k sends one token from r to (r+k) mod p.
+inline SplitVolume barrier_split_volume(const Topology& t) {
+  SplitVolume v;
+  for (int k = 1; k < t.p; k <<= 1) {
+    for (int r = 0; r < t.p; ++r) v.add(t.same_node(r, (r + k) % t.p), 1.0);
+  }
+  return v;
+}
+
+/// Aggregate two-level network time: each link class charged its own Hockney
+/// pair (the flat `network_time` with intra == inter).
+inline double hierarchical_network_time(const SplitVolume& v, const LinkParams& intra,
+                                        const LinkParams& inter) {
+  return intra.time(v.intra.messages, v.intra.bytes) +
+         inter.time(v.inter.messages, v.inter.bytes);
+}
+
+/// Per-rank two-level Pairwise-exchange/Hockney alltoall estimate. Steps are
+/// synchronous, so a step costs the Hockney pair of the slowest link it uses:
+/// intra only when *every* partner pair of that step is intra-node (with
+/// power-of-two p and cores-per-node, exactly the first cores_per_node - 1
+/// XOR steps). Degenerates to hockney_alltoall_time when intra == inter.
+inline double hierarchical_alltoall_time(const Topology& t, double block_bytes,
+                                         const LinkParams& intra, const LinkParams& inter) {
+  if (t.p <= 1) return 0.0;
+  double time = 0.0;
+  for (int s = 1; s < t.p; ++s) {
+    bool all_intra = true;
+    for (int r = 0; r < t.p && all_intra; ++r) {
+      const int dst = is_pow2_p(t.p) ? (r ^ s) : (r + s) % t.p;
+      all_intra = t.same_node(r, dst);
+    }
+    const LinkParams& link = all_intra ? intra : inter;
+    time += link.t_s + block_bytes * link.t_w;
+  }
+  return time;
+}
+
 }  // namespace isoee::model

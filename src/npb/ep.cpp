@@ -10,7 +10,7 @@
 namespace isoee::npb {
 
 EpResult ep_rank(sim::RankCtx& ctx, const EpConfig& config, powerpack::PhaseLog* phases) {
-  smpi::Comm comm(ctx);
+  smpi::Comm comm(ctx, config.collectives);
   const int p = ctx.size();
   const int r = ctx.rank();
 

@@ -13,12 +13,14 @@
 
 #include "powerpack/phases.hpp"
 #include "sim/engine.hpp"
+#include "smpi/comm.hpp"
 
 namespace isoee::npb {
 
 struct EpConfig {
   std::uint64_t trials = 1 << 20;  // total Marsaglia trials across all ranks
   double seed = 271828183.0;       // NPB EP seed
+  smpi::CollectiveConfig collectives{};
 };
 
 struct EpResult {

@@ -171,9 +171,14 @@ void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
   if (dst < 0 || dst >= size_) throw std::out_of_range("send_bytes: bad destination rank");
   const auto& spec = engine_->machine();
 
+  // Two-level topology: same-node messages (block placement) ride the
+  // intra-node link when the network is hierarchical. On a flat network
+  // startup()/per_byte() return the single inter-node pair for every message.
+  const bool same_node = spec.same_node(rank_, dst);
+
   // Injection overhead charged to the sender.
-  double ts = spec.net.t_s;
-  double per_byte = spec.net.t_w();
+  double ts = spec.net.startup(same_node);
+  double per_byte = spec.net.per_byte(same_node);
   if (spec.noise.enabled) {
     const double j = noise_rng_.jitter(spec.noise.network_sigma);
     ts *= j;
@@ -187,6 +192,10 @@ void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
 
   counters_.messages_sent += 1;
   counters_.bytes_sent += payload.size();
+  if (same_node) {
+    counters_.messages_intra_node += 1;
+    counters_.bytes_intra_node += payload.size();
+  }
   engine_->deliver(dst, rank_, tag, std::move(msg));
 }
 

@@ -1,5 +1,6 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace isoee::sim {
@@ -47,6 +48,9 @@ std::string MachineSpec::validate() const {
     if (c.capacity_bytes == 0 || c.latency_s <= 0.0) return "cache levels must be non-trivial";
   }
   if (net.t_s < 0.0 || net.bandwidth_Bps <= 0.0) return "network parameters invalid";
+  if (net.hierarchical && (net.intra_t_s < 0.0 || net.intra_bandwidth_Bps <= 0.0)) {
+    return "intra-node network parameters invalid";
+  }
   if (power.gamma < 1.0) return "gamma must be >= 1 (Kim et al.)";
   if (power.system_idle_w() <= 0.0) return "idle power must be positive";
   if (mem_overlap < 0.0 || mem_overlap > 1.0) return "mem_overlap must be in [0,1]";
@@ -126,6 +130,17 @@ MachineSpec dori() {
   m.noise.seed = 0xd0217eedULL;
 
   m.mem_overlap = 0.5;
+  return m;
+}
+
+MachineSpec with_intra_node_link(MachineSpec m, double intra_t_s, double intra_bw_Bps) {
+  m.net.hierarchical = true;
+  // Default intra-node link: shared-memory transport. MPPTest-style curves put
+  // same-node latency at roughly 1/5 of the NIC's and bandwidth at memory-copy
+  // rates, floored so a fast NIC (InfiniBand) still sees a gain.
+  m.net.intra_t_s = intra_t_s > 0.0 ? intra_t_s : m.net.t_s / 5.0;
+  m.net.intra_bandwidth_Bps =
+      intra_bw_Bps > 0.0 ? intra_bw_Bps : std::max(4.0 * m.net.bandwidth_Bps, 8e9);
   return m;
 }
 

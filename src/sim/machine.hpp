@@ -55,15 +55,41 @@ struct MemorySpec {
 
 /// Interconnect described by the Hockney model: a message of m bytes costs
 /// `t_s + m * t_w` end to end.
+///
+/// The network is optionally *hierarchical* (two-level): the paper's testbeds
+/// pack 8 (SystemG) or 4 (Dori) cores per node, so messages between ranks on
+/// the same node cross shared memory, not the NIC. When `hierarchical` is set,
+/// same-node transfers use the intra-node (latency, bandwidth) pair below;
+/// everything else — and everything when the flag is off, the degenerate
+/// single-level config — uses the inter-node pair (t_s, bandwidth_Bps).
 struct NetworkSpec {
   std::string name = "net";
-  double t_s = 1e-6;             // per-message startup/injection latency
-  double bandwidth_Bps = 1e9;    // sustained point-to-point bandwidth
+  double t_s = 1e-6;             // per-message startup/injection latency (inter-node)
+  double bandwidth_Bps = 1e9;    // sustained point-to-point bandwidth (inter-node)
+
+  bool hierarchical = false;        // enable the two-level topology
+  double intra_t_s = 0.5e-6;        // same-node startup latency
+  double intra_bandwidth_Bps = 8e9; // same-node (shared-memory) bandwidth
 
   double t_w() const { return 1.0 / bandwidth_Bps; }  // seconds per byte
-  /// Transfer time of an m-byte message (Hockney).
+  double intra_t_w() const { return 1.0 / intra_bandwidth_Bps; }
+
+  /// Startup / per-byte cost of a message over the given locality class.
+  /// On a flat (non-hierarchical) network every message is inter-node.
+  double startup(bool same_node) const {
+    return hierarchical && same_node ? intra_t_s : t_s;
+  }
+  double per_byte(bool same_node) const {
+    return hierarchical && same_node ? intra_t_w() : t_w();
+  }
+
+  /// Transfer time of an m-byte message (Hockney, inter-node link).
   double transfer_time(std::uint64_t bytes) const {
     return t_s + static_cast<double>(bytes) * t_w();
+  }
+  /// Transfer time over the link serving the given locality class.
+  double transfer_time(std::uint64_t bytes, bool same_node) const {
+    return startup(same_node) + static_cast<double>(bytes) * per_byte(same_node);
   }
 };
 
@@ -143,6 +169,12 @@ struct MachineSpec {
   int cores_per_node() const { return sockets_per_node * cores_per_socket; }
   int total_cores() const { return nodes * cores_per_node(); }
 
+  /// Block rank placement: rank r runs on node r / cores_per_node(). This is
+  /// what derives the two-level network's locality classes from the node /
+  /// socket topology above.
+  int node_of_rank(int rank) const { return rank / cores_per_node(); }
+  bool same_node(int a, int b) const { return node_of_rank(a) == node_of_rank(b); }
+
   /// Validates invariants (positive counts, descending gears, gamma >= 1...).
   /// Returns an empty string if OK, else a description of the problem.
   std::string validate() const;
@@ -153,5 +185,13 @@ MachineSpec system_g();
 
 /// Preset modelled on the paper's Dori cluster (Ethernet, 2.0 GHz Opteron).
 MachineSpec dori();
+
+/// Returns `m` with the two-level network enabled: same-node messages use a
+/// shared-memory-class link (intra_t_s, intra_bw_Bps) instead of the NIC.
+/// Passing 0 for either parameter keeps the preset's defaults, which are
+/// derived from the ratio of shared-memory to NIC MPPTest curves on
+/// InfiniBand-class systems (lower latency, higher bandwidth than the NIC).
+MachineSpec with_intra_node_link(MachineSpec m, double intra_t_s = 0.0,
+                                 double intra_bw_Bps = 0.0);
 
 }  // namespace isoee::sim

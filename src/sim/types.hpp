@@ -83,6 +83,11 @@ struct RankCounters {
   std::uint64_t bytes_sent = 0;     // B share
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  // Locality split of the sent traffic under block rank placement (counted
+  // whether or not the two-level network is enabled, so flat runs can still
+  // report what a hierarchical network would localise).
+  std::uint64_t messages_intra_node = 0;
+  std::uint64_t bytes_intra_node = 0;
   std::uint64_t io_operations = 0;   // disk reads + writes
   std::uint64_t io_bytes = 0;
   std::uint64_t dvfs_transitions = 0;
@@ -109,6 +114,8 @@ inline void RankCounters::merge(const RankCounters& other) {
   bytes_sent += other.bytes_sent;
   messages_received += other.messages_received;
   bytes_received += other.bytes_received;
+  messages_intra_node += other.messages_intra_node;
+  bytes_intra_node += other.bytes_intra_node;
   io_operations += other.io_operations;
   io_bytes += other.io_bytes;
   dvfs_transitions += other.dvfs_transitions;

@@ -1,0 +1,63 @@
+// Allgather family: the ring algorithm (default; p-1 steps, one block
+// forwarded per step) for both the uniform and the variable-count (v) forms,
+// built on the shared ring primitive in core.hpp. The gather+bcast composite
+// lives at the Comm level.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/core.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// Uniform-block ring allgather: rank r contributes in.size() elements;
+/// out.size() == p * in.size().
+template <typename T>
+void allgather_ring(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                    const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  const std::size_t block = in.size();
+  require(out.size() == block * static_cast<std::size_t>(p),
+          "allgather: out must hold p blocks");
+  std::copy(in.begin(), in.end(), out.begin() + static_cast<std::ptrdiff_t>(block * r));
+  if (p == 1) return;
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(p));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p), block);
+  for (int i = 0; i < p; ++i) {
+    offsets[static_cast<std::size_t>(i)] = block * static_cast<std::size_t>(i);
+  }
+  ring_allgather(ctx, out, std::span<const std::size_t>(offsets),
+                 std::span<const std::size_t>(counts), tags);
+}
+
+/// Variable-block ring allgather: rank r contributes counts[r] elements;
+/// out.size() == sum(counts).
+template <typename T>
+void allgatherv_ring(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                     std::span<const int> counts, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  require(static_cast<int>(counts.size()) == p, "allgatherv: counts must have p entries");
+  const auto off = prefix_offsets(counts);
+  require(in.size() == static_cast<std::size_t>(counts[r]) &&
+              out.size() == off[static_cast<std::size_t>(p)],
+          "allgatherv: buffer sizes do not match counts");
+  std::copy(in.begin(), in.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(off[static_cast<std::size_t>(r)]));
+  if (p == 1) return;
+
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    sizes[static_cast<std::size_t>(i)] = static_cast<std::size_t>(counts[i]);
+  }
+  ring_allgather(ctx, out, std::span<const std::size_t>(off.data(), sizes.size()),
+                 std::span<const std::size_t>(sizes), tags);
+}
+
+}  // namespace isoee::smpi::collectives

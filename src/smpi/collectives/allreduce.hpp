@@ -1,0 +1,71 @@
+// Allreduce family: recursive doubling (MPICH default; non-power-of-two ranks
+// folded in/out). The reduce+bcast composite lives at the Comm level so its
+// pieces allocate tag ranges in the same program order on every rank.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// Recursive doubling on the largest power-of-two subset; extra ranks fold
+/// their contribution into a partner first and get the result back at the end
+/// (the standard MPICH scheme). `out` must already hold this rank's input.
+template <typename T, typename Op>
+void allreduce_recursive_doubling(sim::RankCtx& ctx, std::span<T> out, Op op,
+                                  const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+  const int rounds = ceil_log2(pof2);
+  // Tag layout inside the block: 0 = fold-in, 1..rounds = exchange rounds,
+  // rounds+1 = fold-out.
+  std::vector<T> incoming(out.size());
+  int newrank;  // rank within the power-of-two group, or -1 if folded out
+
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {  // even ranks under 2*rem send and drop out
+      pt2pt::send(ctx, r + 1, tags.tag(0), std::span<const T>(out.data(), out.size()));
+      newrank = -1;
+    } else {  // odd ranks absorb the partner's data
+      pt2pt::recv(ctx, r - 1, tags.tag(0),
+                  std::span<T>(incoming.data(), incoming.size()));
+      for (std::size_t i = 0; i < out.size(); ++i) op(out[i], incoming[i]);
+      ctx.compute(2 * out.size());
+      newrank = r / 2;
+    }
+  } else {
+    newrank = r - rem;
+  }
+
+  if (newrank >= 0) {
+    int round = 1;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      const int newpeer = newrank ^ mask;
+      const int peer = newpeer < rem ? newpeer * 2 + 1 : newpeer + rem;
+      pt2pt::sendrecv(ctx, peer, tags.tag(round),
+                      std::span<const T>(out.data(), out.size()),
+                      std::span<T>(incoming.data(), incoming.size()));
+      for (std::size_t i = 0; i < out.size(); ++i) op(out[i], incoming[i]);
+      ctx.compute(2 * out.size());
+    }
+  }
+
+  // Hand the result back to folded-out ranks.
+  if (r < 2 * rem) {
+    if (r % 2 != 0) {
+      pt2pt::send(ctx, r - 1, tags.tag(rounds + 1),
+                  std::span<const T>(out.data(), out.size()));
+    } else {
+      pt2pt::recv(ctx, r + 1, tags.tag(rounds + 1), std::span<T>(out.data(), out.size()));
+    }
+  }
+}
+
+}  // namespace isoee::smpi::collectives

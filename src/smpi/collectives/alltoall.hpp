@@ -1,0 +1,193 @@
+// All-to-all family: pairwise exchange (the paper's FT model), store-and-
+// forward ring, Bruck bundling, naive post-then-drain, and the variable-count
+// (v) form over ring-offset pairwise steps.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+#include "smpi/registry.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// p-1 steps; with power-of-two p partners pair up via XOR (the classic
+/// pairwise exchange); otherwise ring offsets give the same (p-1) steps of
+/// one send + one receive per rank — the Hockney cost the paper uses.
+template <typename T>
+void alltoall_pairwise(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                       std::size_t block, const TagBlock& tags) {
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  for (int s = 1; s < p; ++s) {
+    int send_to, recv_from;
+    if (is_pow2(p)) {
+      send_to = recv_from = r ^ s;
+    } else {
+      send_to = (r + s) % p;
+      recv_from = (r - s + p) % p;
+    }
+    pt2pt::send(ctx, send_to, tags.tag(s),
+                std::span<const T>(in.data() + block_offset(block, send_to), block));
+    pt2pt::recv(ctx, recv_from, tags.tag(s),
+                std::span<T>(out.data() + block_offset(block, recv_from), block));
+  }
+}
+
+/// Send all non-local blocks around the ring, forwarding as needed: the block
+/// destined to (r+s) mod p travels s hops to the right, one forwarded message
+/// per hop.
+template <typename T>
+void alltoall_ring(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                   std::size_t block, const TagBlock& tags) {
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  std::vector<T> hop(block);
+  for (int s = 1; s < p; ++s) {
+    const int dest = (r + s) % p;
+    std::copy(in.begin() + block_offset(block, dest),
+              in.begin() + block_offset(block, dest + 1), hop.begin());
+    for (int h = 0; h < s; ++h) {
+      // Neighbour traffic is strictly ordered per (source, tag) FIFO, so the
+      // per-step tag only needs to be consistent across ranks, not unique.
+      const int tag = tags.tag((s << 8) + h);
+      pt2pt::send(ctx, right, tag, std::span<const T>(hop.data(), block));
+      pt2pt::recv(ctx, left, tag, std::span<T>(hop.data(), block));
+    }
+    // After s hops the block that arrived originates from (r-s)%p.
+    const int origin = (r - s + p) % p;
+    std::copy(hop.begin(), hop.end(), out.begin() + block_offset(block, origin));
+  }
+}
+
+/// Bruck's algorithm: ceil(log2 p) rounds. Round k sends every block whose
+/// (rotated) destination index has bit k set, bundled into one message to
+/// rank (r + 2^k). Trades bytes (each block travels up to log2 p hops) for
+/// startups (p-1 -> log2 p) — the small-message win.
+template <typename T>
+void alltoall_bruck(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                    std::size_t block, const TagBlock& tags) {
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  std::vector<T> work(in.size());
+  // Local rotation: work[i] = block for destination (r + i) mod p.
+  for (int i = 0; i < p; ++i) {
+    const int src_block = (r + i) % p;
+    std::copy(in.begin() + block_offset(block, src_block),
+              in.begin() + block_offset(block, src_block + 1),
+              work.begin() + block_offset(block, i));
+  }
+  std::vector<T> sendbuf, recvbuf;
+  for (int k = 1, round = 0; k < p; k <<= 1, ++round) {
+    sendbuf.clear();
+    std::vector<int> moved;
+    for (int i = 0; i < p; ++i) {
+      if (i & k) {
+        moved.push_back(i);
+        sendbuf.insert(sendbuf.end(), work.begin() + block_offset(block, i),
+                       work.begin() + block_offset(block, i + 1));
+      }
+    }
+    recvbuf.resize(sendbuf.size());
+    const int dst = (r + k) % p;
+    const int src = (r - k + p) % p;
+    pt2pt::send(ctx, dst, tags.tag(round),
+                std::span<const T>(sendbuf.data(), sendbuf.size()));
+    pt2pt::recv(ctx, src, tags.tag(round), std::span<T>(recvbuf.data(), recvbuf.size()));
+    for (std::size_t m = 0; m < moved.size(); ++m) {
+      std::copy(recvbuf.begin() + static_cast<std::ptrdiff_t>(block * m),
+                recvbuf.begin() + static_cast<std::ptrdiff_t>(block * (m + 1)),
+                work.begin() + block_offset(block, moved[m]));
+    }
+  }
+  // Inverse rotation: block i in `work` came from rank (r - i) mod p.
+  for (int i = 0; i < p; ++i) {
+    const int origin = (r - i + p) % p;
+    std::copy(work.begin() + block_offset(block, i),
+              work.begin() + block_offset(block, i + 1),
+              out.begin() + block_offset(block, origin));
+  }
+}
+
+/// Post everything, then drain. With no bandwidth contention modelled this is
+/// an optimistic lower bound (see bench/ablation_alltoall).
+template <typename T>
+void alltoall_naive(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out,
+                    std::size_t block, const TagBlock& tags) {
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  for (int s = 1; s < p; ++s) {
+    const int dst = (r + s) % p;
+    pt2pt::send(ctx, dst, tags.tag(s),
+                std::span<const T>(in.data() + block_offset(block, dst), block));
+  }
+  for (int s = 1; s < p; ++s) {
+    const int src = (r - s + p) % p;
+    pt2pt::recv(ctx, src, tags.tag((r - src + p) % p),
+                std::span<T>(out.data() + block_offset(block, src), block));
+  }
+}
+
+/// Personalised exchange dispatch: in/out have p equal blocks of `block`
+/// elements each; the local block is copied, the rest goes through `algo`.
+template <typename T>
+void alltoall(sim::RankCtx& ctx, AlltoallAlgo algo, std::span<const T> in,
+              std::span<T> out, std::size_t block, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  require(in.size() == block * static_cast<std::size_t>(p) && out.size() == in.size(),
+          "alltoall: buffers must hold p blocks");
+  // Local block copies itself.
+  std::copy(in.begin() + block_offset(block, r), in.begin() + block_offset(block, r + 1),
+            out.begin() + block_offset(block, r));
+  if (p == 1) return;
+
+  switch (algo) {
+    case AlltoallAlgo::kPairwise: alltoall_pairwise(ctx, in, out, block, tags); break;
+    case AlltoallAlgo::kRing: alltoall_ring(ctx, in, out, block, tags); break;
+    case AlltoallAlgo::kBruck: alltoall_bruck(ctx, in, out, block, tags); break;
+    case AlltoallAlgo::kNaive: alltoall_naive(ctx, in, out, block, tags); break;
+  }
+}
+
+/// Variable-size personalised exchange over ring-offset pairwise steps (works
+/// for any p and any counts, including 0; zero-size messages still pay the
+/// t_s startup, as real MPI does).
+template <typename T>
+void alltoallv(sim::RankCtx& ctx, std::span<const T> in, std::span<const int> send_counts,
+               std::span<T> out, std::span<const int> recv_counts, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  require(static_cast<int>(send_counts.size()) == p &&
+              static_cast<int>(recv_counts.size()) == p,
+          "alltoallv: counts must have p entries");
+  const auto send_off = prefix_offsets(send_counts);
+  const auto recv_off = prefix_offsets(recv_counts);
+  require(send_off[static_cast<std::size_t>(p)] <= in.size() &&
+              recv_off[static_cast<std::size_t>(p)] <= out.size(),
+          "alltoallv: buffer too small for counts");
+  const auto off = [](const std::vector<std::size_t>& v, int i) {
+    return static_cast<std::ptrdiff_t>(v[static_cast<std::size_t>(i)]);
+  };
+  // Local block.
+  std::copy(in.begin() + off(send_off, r), in.begin() + off(send_off, r + 1),
+            out.begin() + off(recv_off, r));
+  for (int s = 1; s < p; ++s) {
+    const int send_to = (r + s) % p;
+    const int recv_from = (r - s + p) % p;
+    pt2pt::send(ctx, send_to, tags.tag(s),
+                std::span<const T>(in.data() + off(send_off, send_to),
+                                   static_cast<std::size_t>(send_counts[send_to])));
+    pt2pt::recv(ctx, recv_from, tags.tag(s),
+                std::span<T>(out.data() + off(recv_off, recv_from),
+                             static_cast<std::size_t>(recv_counts[recv_from])));
+  }
+}
+
+}  // namespace isoee::smpi::collectives

@@ -1,0 +1,109 @@
+// Broadcast / reduce family: binomial trees (MPICH default shape), plus a
+// linear broadcast for the latency-trivial small-p regime.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+#include "smpi/registry.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// Binomial-tree broadcast: receive from the parent, then forward to children.
+/// Tag offsets carry the tree level so overlapping rounds cannot alias.
+template <typename T>
+void bcast_binomial(sim::RankCtx& ctx, std::span<T> buf, int root, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  if (p == 1) return;
+  const int r = ctx.rank();
+  const int vrank = (r - root + p) % p;  // relative rank; root becomes 0
+
+  int mask = 1;
+  int level = 0;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int vsrc = vrank - mask;
+      pt2pt::recv(ctx, (vsrc + root) % p, tags.tag(level), buf);
+      break;
+    }
+    mask <<= 1;
+    ++level;
+  }
+  mask >>= 1;
+  --level;
+  while (mask > 0) {
+    const int vdst = vrank + mask;
+    if (vdst < p) {
+      pt2pt::send(ctx, (vdst + root) % p, tags.tag(level),
+                  std::span<const T>(buf.data(), buf.size()));
+    }
+    mask >>= 1;
+    --level;
+  }
+}
+
+/// Linear broadcast: root sends the buffer to every other rank directly.
+template <typename T>
+void bcast_linear(sim::RankCtx& ctx, std::span<T> buf, int root, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  if (p == 1) return;
+  if (ctx.rank() == root) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == root) continue;
+      pt2pt::send(ctx, dst, tags.tag(0), std::span<const T>(buf.data(), buf.size()));
+    }
+  } else {
+    pt2pt::recv(ctx, root, tags.tag(0), buf);
+  }
+}
+
+template <typename T>
+void bcast(sim::RankCtx& ctx, BcastAlgo algo, std::span<T> buf, int root,
+           const TagBlock& tags) {
+  switch (algo) {
+    case BcastAlgo::kBinomial: bcast_binomial(ctx, buf, root, tags); break;
+    case BcastAlgo::kLinear: bcast_linear(ctx, buf, root, tags); break;
+  }
+}
+
+/// Reversed binomial tree reduction to `root`: leaves send first; interior
+/// ranks combine incoming partials (charging ~2 instructions per element for
+/// the load+op) before forwarding.
+template <typename T, typename Op>
+void reduce_binomial(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out, int root,
+                     Op op, const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require(in.size() == out.size(), "reduce: size mismatch");
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+
+  const int vrank = (r - root + p) % p;
+  int mask = 1;
+  int level = 0;
+  while (mask < p) {
+    if (vrank & mask) {
+      pt2pt::send(ctx, (vrank - mask + root) % p, tags.tag(level),
+                  std::span<const T>(acc.data(), acc.size()));
+      break;
+    }
+    const int vsrc = vrank + mask;
+    if (vsrc < p) {
+      pt2pt::recv(ctx, (vsrc + root) % p, tags.tag(level),
+                  std::span<T>(incoming.data(), incoming.size()));
+      for (std::size_t i = 0; i < acc.size(); ++i) op(acc[i], incoming[i]);
+      ctx.compute(2 * acc.size());
+    }
+    mask <<= 1;
+    ++level;
+  }
+  if (r == root) std::copy(acc.begin(), acc.end(), out.begin());
+}
+
+}  // namespace isoee::smpi::collectives

@@ -1,0 +1,42 @@
+// Scan / reduce-scatter family. Scan is a linear pipeline; reduce-scatter is
+// a reduce+scatter composite orchestrated at the Comm level (so its pieces
+// allocate tag ranges in program order like any other collective sequence).
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// Inclusive prefix reduction (MPI_Scan): rank r receives the reduction of
+/// ranks 0..r. Linear pipeline: receive the prefix from the left, combine,
+/// pass on.
+template <typename T, typename Op>
+void scan_linear(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out, Op op,
+                 const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require(in.size() == out.size(), "scan: size mismatch");
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  std::copy(in.begin(), in.end(), out.begin());
+  if (p == 1) return;
+  if (r > 0) {
+    std::vector<T> prefix(in.size());
+    pt2pt::recv(ctx, r - 1, tags.tag(0), std::span<T>(prefix.data(), prefix.size()));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      T acc = prefix[i];
+      op(acc, out[i]);
+      out[i] = acc;
+    }
+    ctx.compute(2 * out.size());
+  }
+  if (r + 1 < p) {
+    pt2pt::send(ctx, r + 1, tags.tag(0), std::span<const T>(out.data(), out.size()));
+  }
+}
+
+}  // namespace isoee::smpi::collectives

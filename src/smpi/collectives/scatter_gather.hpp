@@ -1,0 +1,89 @@
+// Scatter / gather family: linear root-centred algorithms (the NPB kernels
+// only use these at small p or inside composites).
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+
+namespace isoee::smpi::collectives {
+
+/// Naive gather of equal blocks to root (out used at root only).
+template <typename T>
+void gather_linear(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out, int root,
+                   const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  const std::size_t block = in.size();
+  if (r == root) {
+    require(out.size() == block * static_cast<std::size_t>(p),
+            "gather: out must hold p blocks at root");
+    std::copy(in.begin(), in.end(), out.begin() + block_offset(block, r));
+    for (int src = 0; src < p; ++src) {
+      if (src == root) continue;
+      pt2pt::recv(ctx, src, tags.tag(0),
+                  std::span<T>(out.data() + block_offset(block, src), block));
+    }
+  } else {
+    pt2pt::send(ctx, root, tags.tag(0), in);
+  }
+}
+
+/// Scatter of equal blocks from root (in used at root only).
+template <typename T>
+void scatter_linear(sim::RankCtx& ctx, std::span<const T> in, std::span<T> out, int root,
+                    const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  const std::size_t block = out.size();
+  if (r == root) {
+    require(in.size() == block * static_cast<std::size_t>(p),
+            "scatter: in must hold p blocks at root");
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == root) {
+        std::copy(in.begin() + block_offset(block, dst),
+                  in.begin() + block_offset(block, dst + 1), out.begin());
+      } else {
+        pt2pt::send(ctx, dst, tags.tag(0),
+                    std::span<const T>(in.data() + block_offset(block, dst), block));
+      }
+    }
+  } else {
+    pt2pt::recv(ctx, root, tags.tag(0), out);
+  }
+}
+
+/// Variable-count scatter from root.
+template <typename T>
+void scatterv_linear(sim::RankCtx& ctx, std::span<const T> in,
+                     std::span<const int> counts, std::span<T> out, int root,
+                     const TagBlock& tags) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.size();
+  const int r = ctx.rank();
+  require(static_cast<int>(counts.size()) == p, "scatterv: counts must have p entries");
+  require(out.size() == static_cast<std::size_t>(counts[r]),
+          "scatterv: out size must equal counts[rank]");
+  if (r == root) {
+    std::size_t off = 0;
+    for (int dst = 0; dst < p; ++dst) {
+      const auto cnt = static_cast<std::size_t>(counts[dst]);
+      if (dst == root) {
+        std::copy(in.begin() + static_cast<std::ptrdiff_t>(off),
+                  in.begin() + static_cast<std::ptrdiff_t>(off + cnt), out.begin());
+      } else {
+        pt2pt::send(ctx, dst, tags.tag(0), std::span<const T>(in.data() + off, cnt));
+      }
+      off += cnt;
+    }
+    require(off <= in.size(), "scatterv: in too small");
+  } else {
+    pt2pt::recv(ctx, root, tags.tag(0), out);
+  }
+}
+
+}  // namespace isoee::smpi::collectives

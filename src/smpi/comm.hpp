@@ -1,51 +1,62 @@
 // Message-passing layer over the simulator: an MPI-flavoured communicator
 // with point-to-point operations and collectives built *from* point-to-point,
-// so collective costs emerge from the Hockney network model rather than being
-// asserted. This is what makes the paper's Pairwise-exchange/Hockney all-to-all
-// cost, (p-1)(t_s + X t_w), an emergent property we can validate against.
+// so collective costs emerge from the (possibly two-level) Hockney network
+// model rather than being asserted. This is what makes the paper's
+// Pairwise-exchange/Hockney all-to-all cost, (p-1)(t_s + X t_w), an emergent
+// property we can validate against.
 //
-// Algorithms (selectable via CollectiveConfig, defaults = MPICH-style):
-//   barrier    — dissemination, ceil(log2 p) rounds
-//   bcast      — binomial tree
-//   reduce     — binomial tree (reversed)
-//   allreduce  — recursive doubling (non-power-of-two ranks folded in/out)
-//   allgather  — ring, p-1 steps
-//   alltoall   — pairwise exchange (XOR partners for power-of-two p, ring
-//                offsets otherwise), or ring, or naive scatter
+// The stack is layered (see docs/SMPI.md):
+//   core.hpp         — GearScope, pow2 helpers, tag allocator, ring primitive
+//   pt2pt.hpp        — typed point-to-point over RankCtx
+//   registry.hpp     — algorithm catalogue, name lookup, (p, size) tuning
+//   collectives/*    — one header per family (bcast/reduce, allreduce,
+//                      allgather(v), alltoall(v), scatter/gather, scan)
+//   comm.hpp (this)  — the Comm façade: validation, algorithm selection,
+//                      gear scoping, tag-range allocation, composites
+//
+// Algorithms are selected per call: a fixed per-family enum in
+// CollectiveConfig by default, or a (p, message-size) tuning table when one
+// is supplied (CollectiveTuning::mpich_like() mirrors MPICH's tuned
+// collectives). Defaults are MPICH-style: dissemination barrier, binomial
+// bcast/reduce, recursive-doubling allreduce, ring allgather, pairwise
+// alltoall.
 //
 // All operations are deterministic: matching is FIFO per (source, tag), every
-// collective uses its own tag window, and all ranks execute collectives in
-// program order.
+// collective call leases its own tag range from the centralized TagAllocator,
+// and all ranks execute collectives in program order.
 #pragma once
 
 #include <complex>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "smpi/collectives/allgather.hpp"
+#include "smpi/collectives/allreduce.hpp"
+#include "smpi/collectives/alltoall.hpp"
+#include "smpi/collectives/barrier.hpp"
+#include "smpi/collectives/bcast_reduce.hpp"
+#include "smpi/collectives/scan_reduce_scatter.hpp"
+#include "smpi/collectives/scatter_gather.hpp"
+#include "smpi/core.hpp"
+#include "smpi/pt2pt.hpp"
+#include "smpi/registry.hpp"
 
 namespace isoee::smpi {
-
-/// Algorithm choices for the all-to-all personalised exchange.
-enum class AlltoallAlgo {
-  kPairwise,  // p-1 synchronous pairwise steps (the paper's FT model)
-  kRing,      // ring with store-and-forward of each block
-  kNaive,     // post all sends then receive; no step structure
-  kBruck,     // log2(p) steps of bundled blocks: fewer startups, more bytes
-};
-
-/// Algorithm choices for allreduce.
-enum class AllreduceAlgo {
-  kRecursiveDoubling,
-  kReduceBcast,
-};
 
 struct CollectiveConfig {
   AlltoallAlgo alltoall = AlltoallAlgo::kPairwise;
   AllreduceAlgo allreduce = AllreduceAlgo::kRecursiveDoubling;
+  BcastAlgo bcast = BcastAlgo::kBinomial;
+  AllgatherAlgo allgather = AllgatherAlgo::kRing;
+
+  /// When set, algorithms are resolved per call from the (p, message-size)
+  /// tuning tables instead of the fixed enums above.
+  std::optional<CollectiveTuning> tuning;
 
   /// Communication-phase DVFS (Freeh/Ge-style controllers): when positive,
   /// every collective drops the core to this gear on entry and restores the
@@ -55,26 +66,11 @@ struct CollectiveConfig {
   double comm_gear_ghz = 0.0;
 };
 
-/// RAII frequency scope used to implement communication-phase DVFS.
-class GearScope {
- public:
-  GearScope(sim::RankCtx& ctx, double gear_ghz) : ctx_(&ctx), prev_(ctx.frequency()) {
-    if (gear_ghz > 0.0) ctx_->set_frequency(gear_ghz);
-  }
-  ~GearScope() { ctx_->set_frequency(prev_); }
-  GearScope(const GearScope&) = delete;
-  GearScope& operator=(const GearScope&) = delete;
-
- private:
-  sim::RankCtx* ctx_;
-  double prev_;
-};
-
 /// Communicator over all ranks of a simulated job.
 class Comm {
  public:
   explicit Comm(sim::RankCtx& ctx, CollectiveConfig config = CollectiveConfig())
-      : ctx_(&ctx), config_(config) {}
+      : ctx_(&ctx), config_(std::move(config)) {}
 
   int rank() const { return ctx_->rank(); }
   int size() const { return ctx_->size(); }
@@ -84,31 +80,60 @@ class Comm {
   // --- point to point -------------------------------------------------------
   template <typename T>
   void send(int dst, int tag, std::span<const T> data) {
-    ctx_->send(dst, tag, data);
+    pt2pt::send(*ctx_, dst, tag, data);
   }
   template <typename T>
   void recv(int src, int tag, std::span<T> out) {
-    ctx_->recv(src, tag, out);
+    pt2pt::recv(*ctx_, src, tag, out);
   }
   /// Simultaneous exchange with a partner (both sides call this).
   template <typename T>
   void sendrecv(int peer, int tag, std::span<const T> out, std::span<T> in) {
-    ctx_->send(peer, tag, out);
-    ctx_->recv(peer, tag, in);
+    pt2pt::sendrecv(*ctx_, peer, tag, out, in);
   }
 
   // --- collectives ----------------------------------------------------------
-  void barrier();
+  void barrier() {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("barrier");
+    collectives::barrier(*ctx_, tags);
+  }
 
   template <typename T>
-  void bcast(std::span<T> buf, int root);
+  void bcast(std::span<T> buf, int root) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("bcast");
+    collectives::bcast(*ctx_, bcast_algo(buf.size_bytes()), buf, root, tags);
+  }
 
   /// Element-wise reduction to `root`; `op` combines (accumulator, incoming).
   template <typename T, typename Op>
-  void reduce(std::span<const T> in, std::span<T> out, int root, Op op);
+  void reduce(std::span<const T> in, std::span<T> out, int root, Op op) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("reduce");
+    collectives::reduce_binomial(*ctx_, in, out, root, op, tags);
+  }
 
   template <typename T, typename Op>
-  void allreduce(std::span<const T> in, std::span<T> out, Op op);
+  void allreduce(std::span<const T> in, std::span<T> out, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(in.size() == out.size(), "allreduce: size mismatch");
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    std::copy(in.begin(), in.end(), out.begin());
+    if (size() == 1) return;
+
+    switch (allreduce_algo(in.size_bytes())) {
+      case AllreduceAlgo::kReduceBcast:
+        reduce(in, out, /*root=*/0, op);
+        bcast(out, /*root=*/0);
+        return;
+      case AllreduceAlgo::kRecursiveDoubling: {
+        const TagBlock tags = tags_.acquire("allreduce");
+        collectives::allreduce_recursive_doubling(*ctx_, out, op, tags);
+        return;
+      }
+    }
+  }
 
   /// Convenience sum reductions.
   template <typename T>
@@ -133,541 +158,132 @@ class Comm {
 
   /// Each rank contributes in.size() elements; out.size() == p * in.size().
   template <typename T>
-  void allgather(std::span<const T> in, std::span<T> out);
+  void allgather(std::span<const T> in, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    switch (allgather_algo(in.size_bytes())) {
+      case AllgatherAlgo::kRing: {
+        GearScope gear(*ctx_, config_.comm_gear_ghz);
+        const TagBlock tags = tags_.acquire("allgather");
+        collectives::allgather_ring(*ctx_, in, out, tags);
+        return;
+      }
+      case AllgatherAlgo::kGatherBcast: {
+        GearScope gear(*ctx_, config_.comm_gear_ghz);
+        require(out.size() == in.size() * static_cast<std::size_t>(size()),
+                "allgather: out must hold p blocks");
+        gather(in, out, /*root=*/0);
+        bcast(out, /*root=*/0);
+        return;
+      }
+    }
+  }
 
   /// Variable-block allgather: rank r contributes counts[r] elements;
   /// out.size() == sum(counts). Ring algorithm, p-1 steps.
   template <typename T>
-  void allgatherv(std::span<const T> in, std::span<T> out, std::span<const int> counts);
+  void allgatherv(std::span<const T> in, std::span<T> out, std::span<const int> counts) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("allgatherv");
+    collectives::allgatherv_ring(*ctx_, in, out, counts, tags);
+  }
 
   /// Personalised exchange: in/out have p equal blocks of block elements each.
   template <typename T>
-  void alltoall(std::span<const T> in, std::span<T> out, std::size_t block);
+  void alltoall(std::span<const T> in, std::span<T> out, std::size_t block) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("alltoall");
+    collectives::alltoall(*ctx_, alltoall_algo(block * sizeof(T)), in, out, block, tags);
+  }
 
   /// Variable-size personalised exchange (element counts per destination).
   template <typename T>
   void alltoallv(std::span<const T> in, std::span<const int> send_counts,
-                 std::span<T> out, std::span<const int> recv_counts);
+                 std::span<T> out, std::span<const int> recv_counts) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("alltoallv");
+    collectives::alltoallv(*ctx_, in, send_counts, out, recv_counts, tags);
+  }
 
   /// Naive gather of equal blocks to root (out used at root only).
   template <typename T>
-  void gather(std::span<const T> in, std::span<T> out, int root);
+  void gather(std::span<const T> in, std::span<T> out, int root) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("gather");
+    collectives::gather_linear(*ctx_, in, out, root, tags);
+  }
 
   /// Scatter of equal blocks from root (in used at root only).
   template <typename T>
-  void scatter(std::span<const T> in, std::span<T> out, int root);
+  void scatter(std::span<const T> in, std::span<T> out, int root) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("scatter");
+    collectives::scatter_linear(*ctx_, in, out, root, tags);
+  }
 
   /// Variable-count scatter from root.
   template <typename T>
   void scatterv(std::span<const T> in, std::span<const int> counts, std::span<T> out,
-                int root);
+                int root) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("scatterv");
+    collectives::scatterv_linear(*ctx_, in, counts, out, root, tags);
+  }
 
   /// Reduce-scatter of equal blocks: element-wise reduction of p blocks, with
   /// block r delivered to rank r. Implemented as reduce + scatter.
   template <typename T, typename Op>
-  void reduce_scatter(std::span<const T> in, std::span<T> out, Op op);
+  void reduce_scatter(std::span<const T> in, std::span<T> out, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    const std::size_t block = out.size();
+    require(in.size() == block * static_cast<std::size_t>(p),
+            "reduce_scatter: in must hold p blocks");
+    // Reduce to root 0, then scatter the blocks.
+    std::vector<T> reduced(in.size());
+    reduce(in, std::span<T>(reduced.data(), reduced.size()), /*root=*/0, op);
+    scatter(std::span<const T>(reduced.data(), reduced.size()), out, /*root=*/0);
+  }
 
   /// Inclusive prefix reduction (MPI_Scan): rank r receives the reduction of
   /// ranks 0..r. Linear pipeline.
   template <typename T, typename Op>
-  void scan(std::span<const T> in, std::span<T> out, Op op);
+  void scan(std::span<const T> in, std::span<T> out, Op op) {
+    GearScope gear(*ctx_, config_.comm_gear_ghz);
+    const TagBlock tags = tags_.acquire("scan");
+    collectives::scan_linear(*ctx_, in, out, op, tags);
+  }
 
  private:
-  // Tag windows: collectives use tags >= kCollectiveTagBase; user code should
-  // stay below. Within a window, the low bits carry the step index so that
-  // overlapping rounds of the same collective cannot alias.
-  static constexpr int kCollectiveTagBase = 1 << 20;
-  static constexpr int kBarrierTag = kCollectiveTagBase + 0x0000;
-  static constexpr int kBcastTag = kCollectiveTagBase + 0x1000;
-  static constexpr int kReduceTag = kCollectiveTagBase + 0x2000;
-  static constexpr int kAllreduceTag = kCollectiveTagBase + 0x3000;
-  static constexpr int kAllgatherTag = kCollectiveTagBase + 0x4000;
-  static constexpr int kAlltoallTag = kCollectiveTagBase + 0x5000;
-  static constexpr int kGatherTag = kCollectiveTagBase + 0x6000;
-  static constexpr int kScatterTag = kCollectiveTagBase + 0x7000;
-  static constexpr int kScanTag = kCollectiveTagBase + 0x8000;
-
-  static bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
-  static int floor_pow2(int x) {
-    int p = 1;
-    while (p * 2 <= x) p *= 2;
-    return p;
+  // Per-call algorithm resolution: tuning table when present, fixed enum
+  // otherwise. `bytes` is the per-rank payload of the call.
+  AlltoallAlgo alltoall_algo(std::size_t bytes) const {
+    if (config_.tuning) {
+      return static_cast<AlltoallAlgo>(config_.tuning->alltoall.select(size(), bytes));
+    }
+    return config_.alltoall;
+  }
+  AllreduceAlgo allreduce_algo(std::size_t bytes) const {
+    if (config_.tuning) {
+      return static_cast<AllreduceAlgo>(config_.tuning->allreduce.select(size(), bytes));
+    }
+    return config_.allreduce;
+  }
+  AllgatherAlgo allgather_algo(std::size_t bytes) const {
+    if (config_.tuning) {
+      return static_cast<AllgatherAlgo>(config_.tuning->allgather.select(size(), bytes));
+    }
+    return config_.allgather;
+  }
+  BcastAlgo bcast_algo(std::size_t bytes) const {
+    if (config_.tuning) {
+      return static_cast<BcastAlgo>(config_.tuning->bcast.select(size(), bytes));
+    }
+    return config_.bcast;
   }
 
   sim::RankCtx* ctx_;
   CollectiveConfig config_;
+  TagAllocator tags_;
 };
-
-// ---------------------------------------------------------------------------
-// Implementation
-// ---------------------------------------------------------------------------
-
-inline void Comm::barrier() {
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  std::byte token{0};
-  for (int k = 1; k < p; k <<= 1) {
-    const int dst = (r + k) % p;
-    const int src = ((r - k) % p + p) % p;
-    ctx_->send_bytes(dst, kBarrierTag + k, std::span<const std::byte>(&token, 1));
-    (void)ctx_->recv_bytes(src, kBarrierTag + k);
-  }
-}
-
-template <typename T>
-void Comm::bcast(std::span<T> buf, int root) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  if (p == 1) return;
-  const int r = rank();
-  const int vrank = (r - root + p) % p;  // relative rank; root becomes 0
-
-  // Binomial tree: receive from the parent, then forward to children.
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      const int vsrc = vrank - mask;
-      ctx_->recv((vsrc + root) % p, kBcastTag + mask, buf);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    const int vdst = vrank + mask;
-    if (vdst < p) {
-      ctx_->send((vdst + root) % p, kBcastTag + mask,
-                 std::span<const T>(buf.data(), buf.size()));
-    }
-    mask >>= 1;
-  }
-}
-
-template <typename T, typename Op>
-void Comm::reduce(std::span<const T> in, std::span<T> out, int root, Op op) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (in.size() != out.size()) throw std::invalid_argument("reduce: size mismatch");
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  std::vector<T> acc(in.begin(), in.end());
-  std::vector<T> incoming(in.size());
-
-  const int vrank = (r - root + p) % p;
-  // Reversed binomial tree: leaves send first.
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      ctx_->send((vrank - mask + root) % p, kReduceTag + mask,
-                 std::span<const T>(acc.data(), acc.size()));
-      break;
-    }
-    const int vsrc = vrank + mask;
-    if (vsrc < p) {
-      ctx_->recv((vsrc + root) % p, kReduceTag + mask,
-                 std::span<T>(incoming.data(), incoming.size()));
-      for (std::size_t i = 0; i < acc.size(); ++i) op(acc[i], incoming[i]);
-      // Combining costs real work: ~2 instructions per element (load+op).
-      ctx_->compute(2 * acc.size());
-    }
-    mask <<= 1;
-  }
-  if (r == root) std::copy(acc.begin(), acc.end(), out.begin());
-}
-
-template <typename T, typename Op>
-void Comm::allreduce(std::span<const T> in, std::span<T> out, Op op) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (in.size() != out.size()) throw std::invalid_argument("allreduce: size mismatch");
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  std::copy(in.begin(), in.end(), out.begin());
-  if (p == 1) return;
-
-  if (config_.allreduce == AllreduceAlgo::kReduceBcast) {
-    reduce(in, out, /*root=*/0, op);
-    bcast(out, /*root=*/0);
-    return;
-  }
-
-  // Recursive doubling on the largest power-of-two subset; extra ranks fold
-  // their contribution into a partner first and get the result back at the end
-  // (the standard MPICH scheme).
-  const int pof2 = floor_pow2(p);
-  const int rem = p - pof2;
-  std::vector<T> incoming(in.size());
-  int newrank;  // rank within the power-of-two group, or -1 if folded out
-
-  if (r < 2 * rem) {
-    if (r % 2 == 0) {  // even ranks under 2*rem send and drop out
-      ctx_->send(r + 1, kAllreduceTag + 0xF00, std::span<const T>(out.data(), out.size()));
-      newrank = -1;
-    } else {  // odd ranks absorb the partner's data
-      ctx_->recv(r - 1, kAllreduceTag + 0xF00, std::span<T>(incoming.data(), incoming.size()));
-      for (std::size_t i = 0; i < out.size(); ++i) op(out[i], incoming[i]);
-      ctx_->compute(2 * out.size());
-      newrank = r / 2;
-    }
-  } else {
-    newrank = r - rem;
-  }
-
-  if (newrank >= 0) {
-    for (int mask = 1; mask < pof2; mask <<= 1) {
-      const int newpeer = newrank ^ mask;
-      const int peer = newpeer < rem ? newpeer * 2 + 1 : newpeer + rem;
-      ctx_->send(peer, kAllreduceTag + mask, std::span<const T>(out.data(), out.size()));
-      ctx_->recv(peer, kAllreduceTag + mask, std::span<T>(incoming.data(), incoming.size()));
-      for (std::size_t i = 0; i < out.size(); ++i) op(out[i], incoming[i]);
-      ctx_->compute(2 * out.size());
-    }
-  }
-
-  // Hand the result back to folded-out ranks.
-  if (r < 2 * rem) {
-    if (r % 2 != 0) {
-      ctx_->send(r - 1, kAllreduceTag + 0xF01, std::span<const T>(out.data(), out.size()));
-    } else {
-      ctx_->recv(r + 1, kAllreduceTag + 0xF01, std::span<T>(out.data(), out.size()));
-    }
-  }
-}
-
-template <typename T>
-void Comm::allgather(std::span<const T> in, std::span<T> out) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  const std::size_t block = in.size();
-  if (out.size() != block * static_cast<std::size_t>(p)) {
-    throw std::invalid_argument("allgather: out must hold p blocks");
-  }
-  std::copy(in.begin(), in.end(), out.begin() + static_cast<std::ptrdiff_t>(block * r));
-  if (p == 1) return;
-
-  // Ring: at step s, forward the block originally owned by (r - s) mod p.
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_block = (r - s + p) % p;
-    const int recv_block = (r - s - 1 + p) % p;
-    ctx_->send(right, kAllgatherTag + s,
-               std::span<const T>(out.data() + block * send_block, block));
-    ctx_->recv(left, kAllgatherTag + s,
-               std::span<T>(out.data() + block * recv_block, block));
-  }
-}
-
-template <typename T>
-void Comm::allgatherv(std::span<const T> in, std::span<T> out, std::span<const int> counts) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  if (static_cast<int>(counts.size()) != p) {
-    throw std::invalid_argument("allgatherv: counts must have p entries");
-  }
-  std::vector<std::size_t> off(static_cast<std::size_t>(p) + 1, 0);
-  for (int i = 0; i < p; ++i) off[i + 1] = off[i] + static_cast<std::size_t>(counts[i]);
-  if (in.size() != static_cast<std::size_t>(counts[r]) || out.size() != off[p]) {
-    throw std::invalid_argument("allgatherv: buffer sizes do not match counts");
-  }
-  std::copy(in.begin(), in.end(), out.begin() + static_cast<std::ptrdiff_t>(off[r]));
-  if (p == 1) return;
-
-  const int right = (r + 1) % p;
-  const int left = (r - 1 + p) % p;
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_block = (r - s + p) % p;
-    const int recv_block = (r - s - 1 + p) % p;
-    ctx_->send(right, kAllgatherTag + 0x800 + s,
-               std::span<const T>(out.data() + off[send_block],
-                                  static_cast<std::size_t>(counts[send_block])));
-    ctx_->recv(left, kAllgatherTag + 0x800 + s,
-               std::span<T>(out.data() + off[recv_block],
-                            static_cast<std::size_t>(counts[recv_block])));
-  }
-}
-
-template <typename T>
-void Comm::alltoall(std::span<const T> in, std::span<T> out, std::size_t block) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  if (in.size() != block * static_cast<std::size_t>(p) || out.size() != in.size()) {
-    throw std::invalid_argument("alltoall: buffers must hold p blocks");
-  }
-  // Local block copies itself.
-  std::copy(in.begin() + static_cast<std::ptrdiff_t>(block * r),
-            in.begin() + static_cast<std::ptrdiff_t>(block * (r + 1)),
-            out.begin() + static_cast<std::ptrdiff_t>(block * r));
-  if (p == 1) return;
-
-  switch (config_.alltoall) {
-    case AlltoallAlgo::kPairwise: {
-      // p-1 steps; with power-of-two p partners pair up via XOR (the classic
-      // pairwise exchange); otherwise ring offsets give the same (p-1) steps
-      // of one send + one receive per rank — the Hockney cost the paper uses.
-      for (int s = 1; s < p; ++s) {
-        int send_to, recv_from;
-        if (is_pow2(p)) {
-          send_to = recv_from = r ^ s;
-        } else {
-          send_to = (r + s) % p;
-          recv_from = (r - s + p) % p;
-        }
-        ctx_->send(send_to, kAlltoallTag + s,
-                   std::span<const T>(in.data() + block * send_to, block));
-        ctx_->recv(recv_from, kAlltoallTag + s,
-                   std::span<T>(out.data() + block * recv_from, block));
-      }
-      break;
-    }
-    case AlltoallAlgo::kRing: {
-      // Send all non-local blocks around the ring, forwarding as needed.
-      // Step s moves data s hops; simpler formulation: rank sends block for
-      // (r+s) directly via ring neighbours as s separate forwarded messages.
-      const int right = (r + 1) % p;
-      const int left = (r - 1 + p) % p;
-      // Working buffer carries (block payload, final destination) pairs; we
-      // implement forwarding by sending each block s times.
-      std::vector<T> hop(block);
-      for (int s = 1; s < p; ++s) {
-        // Block destined to (r+s)%p must travel s hops to the right.
-        const int dest = (r + s) % p;
-        std::copy(in.begin() + static_cast<std::ptrdiff_t>(block * dest),
-                  in.begin() + static_cast<std::ptrdiff_t>(block * dest + block), hop.begin());
-        for (int h = 0; h < s; ++h) {
-          ctx_->send(right, kAlltoallTag + (s << 8) + h,
-                     std::span<const T>(hop.data(), block));
-          ctx_->recv(left, kAlltoallTag + (s << 8) + h, std::span<T>(hop.data(), block));
-        }
-        // After s hops the block that arrived originates from (r-s)%p.
-        const int origin = (r - s + p) % p;
-        std::copy(hop.begin(), hop.end(),
-                  out.begin() + static_cast<std::ptrdiff_t>(block * origin));
-      }
-      break;
-    }
-    case AlltoallAlgo::kBruck: {
-      // Bruck's algorithm: ceil(log2 p) rounds. Round k sends every block
-      // whose (rotated) destination index has bit k set, bundled into one
-      // message to rank (r + 2^k). Trades bytes (each block travels up to
-      // log2 p hops) for startups (p-1 -> log2 p) — the small-message win.
-      std::vector<T> work(in.size());
-      // Local rotation: work[i] = block for destination (r + i) mod p.
-      for (int i = 0; i < p; ++i) {
-        const int src_block = (r + i) % p;
-        std::copy(in.begin() + static_cast<std::ptrdiff_t>(block * src_block),
-                  in.begin() + static_cast<std::ptrdiff_t>(block * src_block + block),
-                  work.begin() + static_cast<std::ptrdiff_t>(block * i));
-      }
-      std::vector<T> sendbuf, recvbuf;
-      for (int k = 1, round = 0; k < p; k <<= 1, ++round) {
-        sendbuf.clear();
-        std::vector<int> moved;
-        for (int i = 0; i < p; ++i) {
-          if (i & k) {
-            moved.push_back(i);
-            sendbuf.insert(sendbuf.end(),
-                           work.begin() + static_cast<std::ptrdiff_t>(block * i),
-                           work.begin() + static_cast<std::ptrdiff_t>(block * i + block));
-          }
-        }
-        recvbuf.resize(sendbuf.size());
-        const int dst = (r + k) % p;
-        const int src = (r - k + p) % p;
-        ctx_->send(dst, kAlltoallTag + 0x400 + round,
-                   std::span<const T>(sendbuf.data(), sendbuf.size()));
-        ctx_->recv(src, kAlltoallTag + 0x400 + round,
-                   std::span<T>(recvbuf.data(), recvbuf.size()));
-        for (std::size_t m = 0; m < moved.size(); ++m) {
-          std::copy(recvbuf.begin() + static_cast<std::ptrdiff_t>(block * m),
-                    recvbuf.begin() + static_cast<std::ptrdiff_t>(block * (m + 1)),
-                    work.begin() + static_cast<std::ptrdiff_t>(block * moved[m]));
-        }
-      }
-      // Inverse rotation: block i in `work` came from rank (r - i) mod p.
-      for (int i = 0; i < p; ++i) {
-        const int origin = (r - i + p) % p;
-        std::copy(work.begin() + static_cast<std::ptrdiff_t>(block * i),
-                  work.begin() + static_cast<std::ptrdiff_t>(block * i + block),
-                  out.begin() + static_cast<std::ptrdiff_t>(block * origin));
-      }
-      break;
-    }
-    case AlltoallAlgo::kNaive: {
-      // Post everything, then drain. With no bandwidth contention modelled
-      // this is an optimistic lower bound (see bench/ablation_alltoall).
-      for (int s = 1; s < p; ++s) {
-        const int dst = (r + s) % p;
-        ctx_->send(dst, kAlltoallTag + s, std::span<const T>(in.data() + block * dst, block));
-      }
-      for (int s = 1; s < p; ++s) {
-        const int src = (r - s + p) % p;
-        ctx_->recv(src, kAlltoallTag + ((r - src + p) % p),
-                   std::span<T>(out.data() + block * src, block));
-      }
-      break;
-    }
-  }
-}
-
-template <typename T>
-void Comm::alltoallv(std::span<const T> in, std::span<const int> send_counts,
-                     std::span<T> out, std::span<const int> recv_counts) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  if (static_cast<int>(send_counts.size()) != p || static_cast<int>(recv_counts.size()) != p) {
-    throw std::invalid_argument("alltoallv: counts must have p entries");
-  }
-  std::vector<std::size_t> send_off(static_cast<std::size_t>(p) + 1, 0);
-  std::vector<std::size_t> recv_off(static_cast<std::size_t>(p) + 1, 0);
-  for (int i = 0; i < p; ++i) {
-    send_off[i + 1] = send_off[i] + static_cast<std::size_t>(send_counts[i]);
-    recv_off[i + 1] = recv_off[i] + static_cast<std::size_t>(recv_counts[i]);
-  }
-  if (send_off[p] > in.size() || recv_off[p] > out.size()) {
-    throw std::invalid_argument("alltoallv: buffer too small for counts");
-  }
-  // Local block.
-  std::copy(in.begin() + static_cast<std::ptrdiff_t>(send_off[r]),
-            in.begin() + static_cast<std::ptrdiff_t>(send_off[r + 1]),
-            out.begin() + static_cast<std::ptrdiff_t>(recv_off[r]));
-  // Ring-offset pairwise steps (works for any p and any counts, including 0;
-  // zero-size messages still pay the t_s startup, as real MPI does).
-  for (int s = 1; s < p; ++s) {
-    const int send_to = (r + s) % p;
-    const int recv_from = (r - s + p) % p;
-    ctx_->send(send_to, kAlltoallTag + 0x800 + s,
-               std::span<const T>(in.data() + send_off[send_to],
-                                  static_cast<std::size_t>(send_counts[send_to])));
-    ctx_->recv(recv_from, kAlltoallTag + 0x800 + s,
-               std::span<T>(out.data() + recv_off[recv_from],
-                            static_cast<std::size_t>(recv_counts[recv_from])));
-  }
-}
-
-template <typename T>
-void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  const std::size_t block = in.size();
-  if (r == root) {
-    if (out.size() != block * static_cast<std::size_t>(p)) {
-      throw std::invalid_argument("gather: out must hold p blocks at root");
-    }
-    std::copy(in.begin(), in.end(), out.begin() + static_cast<std::ptrdiff_t>(block * r));
-    for (int src = 0; src < p; ++src) {
-      if (src == root) continue;
-      ctx_->recv(src, kGatherTag, std::span<T>(out.data() + block * src, block));
-    }
-  } else {
-    ctx_->send(root, kGatherTag, in);
-  }
-}
-
-template <typename T>
-void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  const std::size_t block = out.size();
-  if (r == root) {
-    if (in.size() != block * static_cast<std::size_t>(p)) {
-      throw std::invalid_argument("scatter: in must hold p blocks at root");
-    }
-    for (int dst = 0; dst < p; ++dst) {
-      if (dst == root) {
-        std::copy(in.begin() + static_cast<std::ptrdiff_t>(block * dst),
-                  in.begin() + static_cast<std::ptrdiff_t>(block * (dst + 1)), out.begin());
-      } else {
-        ctx_->send(dst, kScatterTag, std::span<const T>(in.data() + block * dst, block));
-      }
-    }
-  } else {
-    ctx_->recv(root, kScatterTag, out);
-  }
-}
-
-template <typename T>
-void Comm::scatterv(std::span<const T> in, std::span<const int> counts, std::span<T> out,
-                    int root) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  if (static_cast<int>(counts.size()) != p) {
-    throw std::invalid_argument("scatterv: counts must have p entries");
-  }
-  if (out.size() != static_cast<std::size_t>(counts[r])) {
-    throw std::invalid_argument("scatterv: out size must equal counts[rank]");
-  }
-  if (r == root) {
-    std::size_t off = 0;
-    for (int dst = 0; dst < p; ++dst) {
-      const auto cnt = static_cast<std::size_t>(counts[dst]);
-      if (dst == root) {
-        std::copy(in.begin() + static_cast<std::ptrdiff_t>(off),
-                  in.begin() + static_cast<std::ptrdiff_t>(off + cnt), out.begin());
-      } else {
-        ctx_->send(dst, kScatterTag + 1, std::span<const T>(in.data() + off, cnt));
-      }
-      off += cnt;
-    }
-    if (off > in.size()) throw std::invalid_argument("scatterv: in too small");
-  } else {
-    ctx_->recv(root, kScatterTag + 1, out);
-  }
-}
-
-template <typename T, typename Op>
-void Comm::reduce_scatter(std::span<const T> in, std::span<T> out, Op op) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const int p = size();
-  const std::size_t block = out.size();
-  if (in.size() != block * static_cast<std::size_t>(p)) {
-    throw std::invalid_argument("reduce_scatter: in must hold p blocks");
-  }
-  // Reduce to root 0, then scatter the blocks.
-  std::vector<T> reduced(in.size());
-  reduce(in, std::span<T>(reduced.data(), reduced.size()), /*root=*/0, op);
-  scatter(std::span<const T>(reduced.data(), reduced.size()), out, /*root=*/0);
-}
-
-template <typename T, typename Op>
-void Comm::scan(std::span<const T> in, std::span<T> out, Op op) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (in.size() != out.size()) throw std::invalid_argument("scan: size mismatch");
-  GearScope gear(*ctx_, config_.comm_gear_ghz);
-  const int p = size();
-  const int r = rank();
-  std::copy(in.begin(), in.end(), out.begin());
-  if (p == 1) return;
-  // Linear pipeline: receive the prefix from the left, combine, pass on.
-  if (r > 0) {
-    std::vector<T> prefix(in.size());
-    ctx_->recv(r - 1, kScanTag, std::span<T>(prefix.data(), prefix.size()));
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      T acc = prefix[i];
-      op(acc, out[i]);
-      out[i] = acc;
-    }
-    ctx_->compute(2 * out.size());
-  }
-  if (r + 1 < p) {
-    ctx_->send(r + 1, kScanTag, std::span<const T>(out.data(), out.size()));
-  }
-}
 
 }  // namespace isoee::smpi

@@ -1,0 +1,31 @@
+// Point-to-point layer of the smpi stack: typed send/recv/sendrecv over the
+// simulator's RankCtx messaging primitives. The collectives/ implementations
+// are built exclusively from these, so collective costs emerge from the
+// (possibly two-level) Hockney network model rather than being asserted.
+#pragma once
+
+#include <span>
+
+#include "sim/engine.hpp"
+
+namespace isoee::smpi::pt2pt {
+
+template <typename T>
+void send(sim::RankCtx& ctx, int dst, int tag, std::span<const T> data) {
+  ctx.send(dst, tag, data);
+}
+
+template <typename T>
+void recv(sim::RankCtx& ctx, int src, int tag, std::span<T> out) {
+  ctx.recv(src, tag, out);
+}
+
+/// Simultaneous exchange with a partner (both sides call this).
+template <typename T>
+void sendrecv(sim::RankCtx& ctx, int peer, int tag, std::span<const T> out,
+              std::span<T> in) {
+  ctx.send(peer, tag, out);
+  ctx.recv(peer, tag, in);
+}
+
+}  // namespace isoee::smpi::pt2pt

@@ -1,0 +1,109 @@
+#include "smpi/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace isoee::smpi {
+
+namespace {
+
+constexpr AlgorithmInfo kBcastAlgos[] = {
+    {"binomial", static_cast<int>(BcastAlgo::kBinomial)},
+    {"linear", static_cast<int>(BcastAlgo::kLinear)},
+};
+constexpr AlgorithmInfo kAllreduceAlgos[] = {
+    {"recursive_doubling", static_cast<int>(AllreduceAlgo::kRecursiveDoubling)},
+    {"reduce_bcast", static_cast<int>(AllreduceAlgo::kReduceBcast)},
+};
+constexpr AlgorithmInfo kAllgatherAlgos[] = {
+    {"ring", static_cast<int>(AllgatherAlgo::kRing)},
+    {"gather_bcast", static_cast<int>(AllgatherAlgo::kGatherBcast)},
+};
+constexpr AlgorithmInfo kAlltoallAlgos[] = {
+    {"pairwise", static_cast<int>(AlltoallAlgo::kPairwise)},
+    {"ring", static_cast<int>(AlltoallAlgo::kRing)},
+    {"naive", static_cast<int>(AlltoallAlgo::kNaive)},
+    {"bruck", static_cast<int>(AlltoallAlgo::kBruck)},
+};
+
+}  // namespace
+
+std::span<const AlgorithmInfo> registered_algorithms(Family family) {
+  switch (family) {
+    case Family::kBcast: return kBcastAlgos;
+    case Family::kAllreduce: return kAllreduceAlgos;
+    case Family::kAllgather: return kAllgatherAlgos;
+    case Family::kAlltoall: return kAlltoallAlgos;
+  }
+  throw std::invalid_argument("registered_algorithms: unknown family");
+}
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kBcast: return "bcast";
+    case Family::kAllreduce: return "allreduce";
+    case Family::kAllgather: return "allgather";
+    case Family::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+int algorithm_id_from_name(Family family, std::string_view name) {
+  const auto algos = registered_algorithms(family);
+  for (const auto& a : algos) {
+    if (a.name == name) return a.id;
+  }
+  std::string known;
+  for (const auto& a : algos) {
+    if (!known.empty()) known += ", ";
+    known += a.name;
+  }
+  throw std::invalid_argument("unknown " + std::string(family_name(family)) +
+                              " algorithm '" + std::string(name) + "' (registered: " +
+                              known + ")");
+}
+
+std::string_view algorithm_name(Family family, int id) {
+  for (const auto& a : registered_algorithms(family)) {
+    if (a.id == id) return a.name;
+  }
+  throw std::invalid_argument(std::string("unknown ") + family_name(family) +
+                              " algorithm id " + std::to_string(id));
+}
+
+AlltoallAlgo alltoall_from_name(std::string_view name) {
+  return static_cast<AlltoallAlgo>(algorithm_id_from_name(Family::kAlltoall, name));
+}
+AllreduceAlgo allreduce_from_name(std::string_view name) {
+  return static_cast<AllreduceAlgo>(algorithm_id_from_name(Family::kAllreduce, name));
+}
+BcastAlgo bcast_from_name(std::string_view name) {
+  return static_cast<BcastAlgo>(algorithm_id_from_name(Family::kBcast, name));
+}
+AllgatherAlgo allgather_from_name(std::string_view name) {
+  return static_cast<AllgatherAlgo>(algorithm_id_from_name(Family::kAllgather, name));
+}
+
+CollectiveTuning CollectiveTuning::mpich_like() {
+  CollectiveTuning t;
+  // Thresholds follow the MPICH tuned-collectives shape (short vs long
+  // message crossover), scaled to the payload sizes the NPB kernels emit.
+  t.alltoall = TuningTable(static_cast<int>(AlltoallAlgo::kPairwise),
+                           {TuningRule{.max_bytes = 256,
+                                       .algo = static_cast<int>(AlltoallAlgo::kBruck)}});
+  constexpr int kRecursiveDoubling = static_cast<int>(AllreduceAlgo::kRecursiveDoubling);
+  t.allreduce = TuningTable(
+      static_cast<int>(AllreduceAlgo::kReduceBcast),
+      {TuningRule{.max_bytes = 32 * 1024, .algo = kRecursiveDoubling}});
+  t.allgather = TuningTable(
+      static_cast<int>(AllgatherAlgo::kRing),
+      {TuningRule{.max_p = 8,
+                  .max_bytes = 1024,
+                  .algo = static_cast<int>(AllgatherAlgo::kGatherBcast)}});
+  t.bcast = TuningTable(static_cast<int>(BcastAlgo::kBinomial),
+                        {TuningRule{.max_p = 2,
+                                    .algo = static_cast<int>(BcastAlgo::kLinear)}});
+  return t;
+}
+
+}  // namespace isoee::smpi

@@ -1,0 +1,122 @@
+// Runtime collective-algorithm registry: the catalogue of implemented
+// algorithms per collective family, name-based lookup (for CLIs and config
+// files), and MPICH-tuned-collectives-style (p, message-size) tuning tables
+// that pick an algorithm per call site.
+//
+// The enums are the stable ids the collectives/ implementations switch on;
+// the registry layers discoverability and data-driven selection on top.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace isoee::smpi {
+
+/// Algorithm choices for the all-to-all personalised exchange.
+enum class AlltoallAlgo {
+  kPairwise,  // p-1 synchronous pairwise steps (the paper's FT model)
+  kRing,      // ring with store-and-forward of each block
+  kNaive,     // post all sends then receive; no step structure
+  kBruck,     // log2(p) steps of bundled blocks: fewer startups, more bytes
+};
+
+/// Algorithm choices for allreduce.
+enum class AllreduceAlgo {
+  kRecursiveDoubling,
+  kReduceBcast,
+};
+
+/// Algorithm choices for broadcast.
+enum class BcastAlgo {
+  kBinomial,  // binomial tree, ceil(log2 p) levels
+  kLinear,    // root sends to every rank directly (small-p / debugging)
+};
+
+/// Algorithm choices for allgather.
+enum class AllgatherAlgo {
+  kRing,         // p-1 ring steps (the default; matches the volume model)
+  kGatherBcast,  // gather to rank 0 then broadcast (latency-bound regime)
+};
+
+/// Collective families with more than one registered algorithm.
+enum class Family {
+  kBcast,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+};
+
+struct AlgorithmInfo {
+  std::string_view name;  // stable lookup key, e.g. "pairwise"
+  int id;                 // the enum value, cast to int
+};
+
+/// All algorithms registered for a family, in enum order.
+std::span<const AlgorithmInfo> registered_algorithms(Family family);
+
+/// Name -> enum id; throws std::invalid_argument on an unknown name, listing
+/// the registered ones.
+int algorithm_id_from_name(Family family, std::string_view name);
+
+/// Enum id -> name; throws std::invalid_argument on an unknown id.
+std::string_view algorithm_name(Family family, int id);
+
+const char* family_name(Family family);
+
+/// Typed conveniences over algorithm_id_from_name.
+AlltoallAlgo alltoall_from_name(std::string_view name);
+AllreduceAlgo allreduce_from_name(std::string_view name);
+BcastAlgo bcast_from_name(std::string_view name);
+AllgatherAlgo allgather_from_name(std::string_view name);
+
+/// One row of a tuning table: the rule applies when p <= max_p and the
+/// per-rank payload is <= max_bytes.
+struct TuningRule {
+  int max_p = std::numeric_limits<int>::max();
+  std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+  int algo = 0;
+};
+
+/// Ordered (p, message-size) -> algorithm map for one family: the first rule
+/// that accommodates the call wins, else the fallback algorithm.
+class TuningTable {
+ public:
+  TuningTable() = default;
+  TuningTable(int fallback, std::vector<TuningRule> rules)
+      : fallback_(fallback), rules_(std::move(rules)) {}
+
+  int select(int p, std::size_t bytes) const {
+    for (const auto& rule : rules_) {
+      if (p <= rule.max_p && bytes <= rule.max_bytes) return rule.algo;
+    }
+    return fallback_;
+  }
+
+  const std::vector<TuningRule>& rules() const { return rules_; }
+  int fallback() const { return fallback_; }
+
+ private:
+  int fallback_ = 0;
+  std::vector<TuningRule> rules_;
+};
+
+/// Per-family tuning tables threaded through CollectiveConfig. When present,
+/// every collective call resolves its algorithm from the table at its own
+/// (p, payload) point instead of the fixed per-family enum.
+struct CollectiveTuning {
+  TuningTable bcast;
+  TuningTable allreduce;
+  TuningTable allgather;
+  TuningTable alltoall;
+
+  /// MPICH-style defaults: Bruck for latency-bound (small) all-to-alls,
+  /// pairwise otherwise; recursive doubling for small allreduces, reduce+bcast
+  /// for bandwidth-bound ones; gather+bcast for tiny allgathers, ring
+  /// otherwise; binomial bcast throughout (linear only at trivial p).
+  static CollectiveTuning mpich_like();
+};
+
+}  // namespace isoee::smpi
