@@ -1,0 +1,65 @@
+#include "check/check.hpp"
+
+#include <sstream>
+
+#include "check/generators.hpp"
+#include "check/shrink.hpp"
+#include "smpi/registry.hpp"
+
+namespace isoee::check {
+
+bool SweepStats::covered_all_algorithms() const {
+  constexpr smpi::Family kFamilies[] = {smpi::Family::kBcast, smpi::Family::kAllreduce,
+                                        smpi::Family::kAllgather, smpi::Family::kAlltoall};
+  for (const smpi::Family family : kFamilies) {
+    for (const auto& info : smpi::registered_algorithms(family)) {
+      const std::string key =
+          std::string(smpi::family_name(family)) + "/" + std::string(info.name);
+      const auto it = cases_per_algorithm.find(key);
+      if (it == cases_per_algorithm.end() || it->second == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string SweepStats::summary() const {
+  std::ostringstream os;
+  os << cases << " cases, " << failures.size() << " failures; " << flat_cases
+     << " flat / " << hierarchical_cases << " two-level; " << zero_byte_cases
+     << " zero-byte, " << perturbed_cases << " perturbed, " << tuned_cases << " tuned";
+  return os.str();
+}
+
+SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts) {
+  SweepStats stats;
+  for (int i = 0; i < count; ++i) {
+    const CheckConfig cfg = generate_case(seed, i);
+    ++stats.cases;
+    ++stats.cases_per_op[op_name(cfg.op)];
+    if (op_has_algorithms(cfg.op) && !cfg.tuned) {
+      const smpi::Family family = op_family(cfg.op);
+      const std::string key = std::string(smpi::family_name(family)) + "/" +
+                              std::string(smpi::algorithm_name(family, cfg.algo));
+      ++stats.cases_per_algorithm[key];
+    }
+    (cfg.hierarchical ? stats.hierarchical_cases : stats.flat_cases) += 1;
+    if (cfg.elems == 0) ++stats.zero_byte_cases;
+    if (cfg.perturb) ++stats.perturbed_cases;
+    if (cfg.tuned) ++stats.tuned_cases;
+
+    if (auto failure = check_case(cfg, opts.fault)) {
+      SweepFailure f;
+      f.original = cfg;
+      f.what = std::move(*failure);
+      f.shrunk = cfg;
+      if (opts.shrink_failures) {
+        f.shrunk = shrink(cfg, failure_predicate(opts.fault), opts.shrink_budget).config;
+      }
+      f.shrunk_repro = f.shrunk.repro();
+      stats.failures.push_back(std::move(f));
+    }
+  }
+  return stats;
+}
+
+}  // namespace isoee::check

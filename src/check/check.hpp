@@ -1,0 +1,52 @@
+// Sweep driver: generates N configs, runs the oracle on each, shrinks any
+// failure, and reports coverage statistics so the caller can assert the sweep
+// actually exercised what it promises (both topologies, every op, every
+// registered collective algorithm).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/config.hpp"
+#include "check/oracle.hpp"
+
+namespace isoee::check {
+
+struct SweepFailure {
+  CheckConfig original;       // the generated config that failed
+  CheckConfig shrunk;         // its minimized form
+  std::string what;           // oracle description of the original failure
+  std::string shrunk_repro;   // shrunk.repro(), the string to replay
+};
+
+struct SweepStats {
+  int cases = 0;
+  std::vector<SweepFailure> failures;
+
+  // Coverage over the generated configs.
+  std::map<std::string, int> cases_per_op;          // op name -> count
+  std::map<std::string, int> cases_per_algorithm;   // "family/algo" -> count
+  int flat_cases = 0;
+  int hierarchical_cases = 0;
+  int zero_byte_cases = 0;
+  int perturbed_cases = 0;
+  int tuned_cases = 0;
+
+  bool ok() const { return failures.empty(); }
+  /// True when every registered algorithm of every collective family ran.
+  bool covered_all_algorithms() const;
+  std::string summary() const;
+};
+
+struct SweepOptions {
+  bool shrink_failures = true;
+  int shrink_budget = 120;           // oracle calls per failure minimization
+  FaultInjection fault;              // test hook; defaults to no fault
+};
+
+/// Runs `count` generated configs under the oracle.
+SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts = {});
+
+}  // namespace isoee::check

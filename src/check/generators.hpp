@@ -1,0 +1,19 @@
+// Seeded, stratified random generation of CheckConfigs. Deterministic in
+// (sweep_seed, index); stratification guarantees that any reasonably sized
+// sweep covers both machine presets, flat and two-level topologies, every
+// operation, every registered algorithm of every collective family, zero-byte
+// and huge payloads, and power-of-two as well as non-power-of-two rank counts
+// — instead of merely making them likely.
+#pragma once
+
+#include <cstdint>
+
+#include "check/config.hpp"
+
+namespace isoee::check {
+
+/// The index-th config of the sweep with the given seed, already
+/// canonicalized. Same (seed, index) always produces the same config.
+CheckConfig generate_case(std::uint64_t sweep_seed, int index);
+
+}  // namespace isoee::check

@@ -1,0 +1,58 @@
+// Differential + metamorphic oracle: runs one CheckConfig through the
+// simulator and checks every property the harness knows how to falsify.
+//
+// Differential checks (simulator vs closed-form model):
+//   * message/byte counters == the algorithm's CommVolume form, exactly;
+//   * intra/inter-node locality counters == the SplitVolume form, exactly
+//     (block placement makes the split structural, flat networks included);
+//   * pairwise-alltoall makespan within a tolerance band of the (possibly
+//     two-level) Pairwise-exchange/Hockney estimate, noise off;
+//   * kernel results (EP statistics, FT checksums) against a 1-rank
+//     reference run — EP's integer counts exact, its deviate sums and FT's
+//     checksums roundoff-banded (allreduce association order varies with p).
+//
+// Metamorphic invariants:
+//   * payload correctness: every collective's output equals the locally
+//     computed expectation (which also forces byte-identity across all
+//     registered algorithms of a family, since each is checked against the
+//     same expectation);
+//   * rerun determinism: an identical second run produces a bit-identical
+//     digest (payload bytes, virtual times, energies, counters);
+//   * host-schedule independence: a run under the seeded perturbation
+//     injector (sim::PerturbSpec) produces the same digest;
+//   * energy closure: total == cpu+memory+io+other == idle_floor +
+//     active_increment, per rank and in aggregate;
+//   * virtual time monotone in n (untuned, noise-free configs);
+//   * communication gear-down never raises CPU active-increment energy
+//     (DeltaP_c ~ f^gamma with gamma >= 1);
+//   * tag-range recycling: TagAllocator overlap_violations stays 0 and all
+//     leased ranges are released.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "check/config.hpp"
+
+namespace isoee::check {
+
+/// Test-only fault injection so the harness can be validated end to end: a
+/// planted bug must be caught by the oracle and minimized by the shrinker.
+struct FaultInjection {
+  /// Runs a deliberately off-by-one ring allgather (forwards the block one
+  /// step stale) in place of the real one for op=allgather algo=ring.
+  bool ring_allgather_off_by_one = false;
+};
+
+/// Runs the config and checks every applicable property. Returns nullopt on
+/// success, else a human-readable description of the first failed property.
+/// Simulator exceptions are reported as failures, not propagated.
+std::optional<std::string> check_case(const CheckConfig& cfg,
+                                      const FaultInjection& fault = FaultInjection());
+
+/// Convenience predicate for the shrinker: does the config still fail?
+std::function<bool(const CheckConfig&)> failure_predicate(
+    const FaultInjection& fault = FaultInjection());
+
+}  // namespace isoee::check

@@ -1,0 +1,27 @@
+// Greedy config shrinker: given a failing CheckConfig and a predicate that
+// reruns the oracle, repeatedly tries simplifying mutations (fewer ranks,
+// smaller payload, features switched off, canonical seed) and keeps any
+// mutation that still fails, until a fixpoint. The result's repro() string is
+// the minimal replayable reproduction the soak driver prints.
+#pragma once
+
+#include <functional>
+
+#include "check/config.hpp"
+
+namespace isoee::check {
+
+struct ShrinkResult {
+  CheckConfig config;   // the minimized failing config
+  int predicate_calls = 0;  // oracle runs spent shrinking
+  int accepted = 0;         // mutations that kept the failure alive
+};
+
+/// Minimizes `failing` under `still_fails` (which must hold for `failing`
+/// itself; if it does not, `failing` is returned unchanged). Every candidate
+/// is canonicalized before testing, so the result is always a valid config.
+ShrinkResult shrink(const CheckConfig& failing,
+                    const std::function<bool(const CheckConfig&)>& still_fails,
+                    int max_predicate_calls = 200);
+
+}  // namespace isoee::check

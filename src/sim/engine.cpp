@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <stdexcept>
@@ -35,6 +36,30 @@ RankCtx::RankCtx(Engine* engine, int rank, int size)
   (void)util::splitmix64(s);
   noise_rng_.reseed(s + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1));
   tracing_ = engine_->options().record_trace;
+  // The perturbation RNG is deliberately separate from the noise RNG: its
+  // draws only steer host scheduling, so enabling it cannot change any
+  // virtual-time observable.
+  perturbing_ = opts.perturb.enabled;
+  if (perturbing_) {
+    std::uint64_t ps = opts.perturb.seed;
+    (void)util::splitmix64(ps);
+    perturb_rng_.reseed(ps + 0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(rank + 1));
+  }
+}
+
+void RankCtx::maybe_perturb() {
+  if (!perturbing_) return;
+  const auto& spec = engine_->options().perturb;
+  if (perturb_rng_.uniform() >= spec.yield_probability) return;
+  const std::uint64_t us =
+      spec.max_sleep_us > 0
+          ? perturb_rng_.below(static_cast<std::uint64_t>(spec.max_sleep_us) + 1)
+          : 0;
+  if (us == 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
 }
 
 const MachineSpec& RankCtx::machine() const { return engine_->machine(); }
@@ -72,6 +97,7 @@ void RankCtx::advance(double seconds, Activity activity) {
   if (engine_->options().on_segment) {
     engine_->options().on_segment(*this, Segment{clock_ - seconds, seconds, activity, ghz_});
   }
+  maybe_perturb();
 }
 
 void RankCtx::compute(std::uint64_t instructions) {
@@ -201,6 +227,9 @@ void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
 
 std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
   if (src < 0 || src >= size_) throw std::out_of_range("recv_bytes: bad source rank");
+  // Perturb before blocking on the mailbox: a delayed receiver lets senders
+  // race ahead, which is the interleaving that stresses tag-range recycling.
+  maybe_perturb();
   Engine::Message msg = engine_->take(rank_, src, tag);
   // Completion cannot precede the payload's arrival; the gap is receive wait.
   const double wait = std::max(0.0, msg.arrival - clock_);

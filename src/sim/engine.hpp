@@ -137,7 +137,9 @@ class RankCtx {
     static_assert(std::is_trivially_copyable_v<T>);
     auto bytes = recv_bytes(src, tag);
     if (bytes.size() != out.size_bytes()) throw std::runtime_error("recv size mismatch");
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    // Zero-byte messages are legal (they still pay t_s, as real MPI does);
+    // memcpy's nonnull contract forbids passing the empty vector's null data.
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
   }
 
   // --- introspection ------------------------------------------------------
@@ -150,6 +152,7 @@ class RankCtx {
 
   void advance(double seconds, Activity activity);
   void record_segment(double duration, Activity activity);
+  void maybe_perturb();
 
   Engine* engine_;
   int rank_;
@@ -159,8 +162,26 @@ class RankCtx {
   TimeBreakdown time_;
   RankCounters counters_;
   util::Xoshiro256 noise_rng_;
+  util::Xoshiro256 perturb_rng_;
+  bool perturbing_ = false;
   std::vector<Segment> trace_;
   bool tracing_ = false;
+};
+
+/// Host-schedule perturbation (off by default). When enabled, every rank
+/// thread sprinkles seeded random yields/sleeps between simulation
+/// primitives, forcing adversarial host interleavings: senders race whole
+/// collectives ahead of lagging receivers (stressing mailbox buildup and the
+/// TagAllocator recycling window) and composite collectives interleave across
+/// ranks in orders a quiet host never produces. Because virtual time is
+/// derived only from the simulated activity — never from the host clock — a
+/// perturbed run must produce bit-identical results to an unperturbed one;
+/// src/check asserts exactly that.
+struct PerturbSpec {
+  bool enabled = false;
+  std::uint64_t seed = 0x7e57ab1eULL;  // drives the per-rank perturbation RNG
+  double yield_probability = 0.2;      // chance to disturb at each primitive
+  int max_sleep_us = 50;               // sleep up to this long (0 = yield only)
 };
 
 /// Engine construction options.
@@ -172,6 +193,11 @@ struct EngineOptions {
   /// per_rank_ghz[r % size()] (snapped to a gear). Overrides initial_ghz.
   /// Used to validate the heterogeneous model extension (model/hetero.hpp).
   std::vector<double> per_rank_ghz;
+
+  /// Host-schedule perturbation injector (see PerturbSpec). Simulation
+  /// results are independent of it by construction; it exists to let tests
+  /// stress determinism under adversarial thread interleavings.
+  PerturbSpec perturb;
 
   /// Streaming segment observer, invoked on the rank's own thread immediately
   /// after every timeline segment completes (independently of record_trace).

@@ -76,6 +76,9 @@ class Comm {
   int size() const { return ctx_->size(); }
   sim::RankCtx& ctx() { return *ctx_; }
   const CollectiveConfig& config() const { return config_; }
+  /// This rank's collective tag allocator; src/check reads its overlap
+  /// counters after a run to verify tag-range recycling stayed safe.
+  const TagAllocator& tag_allocator() const { return tags_; }
 
   // --- point to point -------------------------------------------------------
   template <typename T>

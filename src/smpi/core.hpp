@@ -7,9 +7,11 @@
 // collectives/*; nothing here depends on algorithm choices.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -114,9 +116,11 @@ class TagBlock {
 /// range on every rank — the property the old per-collective constants
 /// provided, now enforced in one place.
 ///
-/// Debug builds assert that a recycled range is not still held by an
-/// in-flight collective on this rank (no two in-flight collectives may
-/// overlap tag ranges).
+/// The no-overlap property (a recycled range must not still be held by an
+/// in-flight collective on this rank) is tracked as counters checkable in
+/// every build — the src/check fuzzing oracle asserts overlap_violations()
+/// stays zero under adversarial schedules — and additionally asserted in
+/// debug builds.
 class TagAllocator {
  public:
   /// User point-to-point code must stay below this tag.
@@ -127,18 +131,36 @@ class TagAllocator {
   TagBlock acquire(const char* family) {
     const int index = static_cast<int>(next_seq_ % kWindowBlocks);
     ++next_seq_;
-    assert(!active_[static_cast<std::size_t>(index)] &&
-           "tag range still held by an in-flight collective");
+    if (active_[static_cast<std::size_t>(index)]) {
+      ++overlap_violations_;
+      assert(false && "tag range still held by an in-flight collective");
+    }
     (void)family;
     active_[static_cast<std::size_t>(index)] = true;
+    ++in_flight_;
+    max_in_flight_ = std::max(max_in_flight_, in_flight_);
     return TagBlock(this, index, kCollectiveTagBase + index * kTagsPerBlock);
   }
 
+  /// Total ranges leased over this allocator's lifetime.
+  std::uint64_t acquired() const { return next_seq_; }
+  /// Times a recycled range was re-leased while still held (must stay 0).
+  std::uint64_t overlap_violations() const { return overlap_violations_; }
+  /// Ranges currently held / high-water mark of simultaneously held ranges.
+  int in_flight() const { return in_flight_; }
+  int max_in_flight() const { return max_in_flight_; }
+
  private:
   friend class TagBlock;
-  void release(int index) { active_[static_cast<std::size_t>(index)] = false; }
+  void release(int index) {
+    active_[static_cast<std::size_t>(index)] = false;
+    --in_flight_;
+  }
 
   std::uint64_t next_seq_ = 0;
+  std::uint64_t overlap_violations_ = 0;
+  int in_flight_ = 0;
+  int max_in_flight_ = 0;
   std::array<bool, kWindowBlocks> active_{};
 };
 

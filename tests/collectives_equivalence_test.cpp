@@ -256,4 +256,146 @@ TEST(Registry, TunedCommMatchesFixedAlgorithmPayloads) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Edge-case regressions: zero-byte messages and single-rank jobs. Zero-byte
+// transfers are legal (they still pay the t_s startup, like real MPI) and
+// must not trip the typed-receive copy path; p=1 collectives degenerate to
+// local copies with no traffic at all.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, ZeroByteAlltoallEveryAlgorithmCompletesEmpty) {
+  for (int p : {3, 4}) {
+    for (const auto& info : smpi::registered_algorithms(smpi::Family::kAlltoall)) {
+      const auto got = run_alltoall(p, static_cast<smpi::AlltoallAlgo>(info.id), 0);
+      for (const auto& payload : got) {
+        EXPECT_TRUE(payload.empty())
+            << "alltoall " << info.name << " at p=" << p << " with empty blocks";
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, ZeroByteMessagesStillPayStartupAndAreCounted) {
+  const int p = 4;
+  sim::Engine engine(quiet_machine());
+  const auto result = engine.run(p, [&](sim::RankCtx& ctx) {
+    smpi::Comm comm(ctx);
+    comm.alltoall(std::span<const std::int64_t>(), std::span<std::int64_t>(), 0);
+  });
+  // Pairwise exchange: p-1 empty messages per rank, each charged t_s.
+  EXPECT_EQ(result.counters.messages_sent, static_cast<std::uint64_t>(p) * (p - 1));
+  EXPECT_EQ(result.counters.bytes_sent, 0u);
+  const double t_s = quiet_machine().net.t_s;
+  EXPECT_GE(result.makespan, (p - 1) * t_s * 0.5);
+}
+
+TEST(EdgeCases, ZeroByteRingAllgatherAndMixedZeroCountAllgatherv) {
+  const int p = 5;
+  // Uniform zero-size blocks: p-1 empty ring steps per rank, empty output.
+  const auto empty = run_collective(p, [&](sim::RankCtx& ctx) {
+    smpi::Comm comm(ctx);
+    std::vector<std::int64_t> out;
+    comm.allgather(std::span<const std::int64_t>(), std::span<std::int64_t>(out));
+    return out;
+  });
+  for (const auto& payload : empty) EXPECT_TRUE(payload.empty());
+
+  // Mixed zero and non-zero contributions: zero-count ranks still take part
+  // in every ring step and the assembled buffer skips their (empty) blocks.
+  const std::vector<int> counts = {0, 3, 0, 2, 1};
+  std::vector<std::int64_t> expected;
+  for (int q = 0; q < p; ++q) {
+    for (int i = 0; i < counts[static_cast<std::size_t>(q)]; ++i) {
+      expected.push_back(value(q, static_cast<std::size_t>(i)));
+    }
+  }
+  const auto got = run_collective(p, [&](sim::RankCtx& ctx) {
+    smpi::Comm comm(ctx);
+    const int r = ctx.rank();
+    std::vector<std::int64_t> in(static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = value(r, i);
+    std::vector<std::int64_t> out(expected.size());
+    comm.allgatherv(std::span<const std::int64_t>(in), std::span<std::int64_t>(out),
+                    std::span<const int>(counts));
+    return out;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST(EdgeCases, SingleRankCollectivesAreLocalCopiesWithNoTraffic) {
+  const std::size_t n = 4;
+  std::vector<std::int64_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = value(0, i);
+
+  sim::Engine engine(quiet_machine());
+  const auto result = engine.run(1, [&](sim::RankCtx& ctx) {
+    for (const auto& info : smpi::registered_algorithms(smpi::Family::kAlltoall)) {
+      smpi::CollectiveConfig cfg;
+      cfg.alltoall = static_cast<smpi::AlltoallAlgo>(info.id);
+      smpi::Comm comm(ctx, cfg);
+      std::vector<std::int64_t> out(n);
+      comm.alltoall(std::span<const std::int64_t>(in), std::span<std::int64_t>(out), n);
+      EXPECT_EQ(out, in) << "alltoall " << info.name;
+    }
+    for (const auto& info : smpi::registered_algorithms(smpi::Family::kAllgather)) {
+      smpi::CollectiveConfig cfg;
+      cfg.allgather = static_cast<smpi::AllgatherAlgo>(info.id);
+      smpi::Comm comm(ctx, cfg);
+      std::vector<std::int64_t> out(n);
+      comm.allgather(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+      EXPECT_EQ(out, in) << "allgather " << info.name;
+    }
+    smpi::Comm comm(ctx);
+    comm.barrier();
+    std::vector<std::int64_t> out(n);
+    comm.allreduce_sum(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+    EXPECT_EQ(out, in);
+    std::vector<std::int64_t> buf(in);
+    comm.bcast(std::span<std::int64_t>(buf), 0);
+    EXPECT_EQ(buf, in);
+    comm.scan(std::span<const std::int64_t>(in), std::span<std::int64_t>(out),
+              [](std::int64_t& a, const std::int64_t& b) { a += b; });
+    EXPECT_EQ(out, in);
+  });
+  EXPECT_EQ(result.counters.messages_sent, 0u);
+  EXPECT_EQ(result.counters.bytes_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tuning tables: exact boundary behaviour of the mpich_like rules. The first
+// rule that accommodates (p, bytes) wins; one past each threshold falls to
+// the fallback.
+// ---------------------------------------------------------------------------
+
+TEST(Registry, TuningTableExactThresholdBoundaries) {
+  const auto t = smpi::CollectiveTuning::mpich_like();
+
+  // alltoall: Bruck up to and including 256 B per block, pairwise after.
+  EXPECT_EQ(t.alltoall.select(4, 256), static_cast<int>(smpi::AlltoallAlgo::kBruck));
+  EXPECT_EQ(t.alltoall.select(4, 257), static_cast<int>(smpi::AlltoallAlgo::kPairwise));
+  EXPECT_EQ(t.alltoall.select(1, 0), static_cast<int>(smpi::AlltoallAlgo::kBruck));
+
+  // allreduce: recursive doubling up to and including 32 KiB.
+  EXPECT_EQ(t.allreduce.select(3, 32 * 1024),
+            static_cast<int>(smpi::AllreduceAlgo::kRecursiveDoubling));
+  EXPECT_EQ(t.allreduce.select(3, 32 * 1024 + 1),
+            static_cast<int>(smpi::AllreduceAlgo::kReduceBcast));
+
+  // allgather: gather+bcast only inside the (p <= 8, <= 1024 B) box; leaving
+  // the box on either axis falls back to ring.
+  EXPECT_EQ(t.allgather.select(8, 1024),
+            static_cast<int>(smpi::AllgatherAlgo::kGatherBcast));
+  EXPECT_EQ(t.allgather.select(9, 1024), static_cast<int>(smpi::AllgatherAlgo::kRing));
+  EXPECT_EQ(t.allgather.select(8, 1025), static_cast<int>(smpi::AllgatherAlgo::kRing));
+  EXPECT_EQ(t.allgather.select(1, 0),
+            static_cast<int>(smpi::AllgatherAlgo::kGatherBcast));
+
+  // bcast: linear only at trivial p; p=3 is already binomial at any size.
+  EXPECT_EQ(t.bcast.select(2, 1 << 20), static_cast<int>(smpi::BcastAlgo::kLinear));
+  EXPECT_EQ(t.bcast.select(1, 0), static_cast<int>(smpi::BcastAlgo::kLinear));
+  EXPECT_EQ(t.bcast.select(3, 0), static_cast<int>(smpi::BcastAlgo::kBinomial));
+}
+
 }  // namespace
