@@ -8,17 +8,25 @@
 //     ...
 //   }
 //
-// which gives all experiment binaries two shared overrides:
-//   --csv-dir=DIR   write CSVs under DIR instead of ./bench_out (CI runs
-//                   benches hermetically into a temp dir)
-//   --seed=N        override the machine presets' deterministic noise seed
+// which gives all experiment binaries four shared overrides:
+//   --csv-dir=DIR    write CSVs under DIR instead of ./bench_out (CI runs
+//                    benches hermetically into a temp dir)
+//   --seed=N         override the machine presets' deterministic noise seed
+//   --jobs=N         host-thread budget for case execution (1 = serial,
+//                    0 = hardware_concurrency); results are identical for
+//                    every value by the executor's determinism contract
+//   --cache-dir=DIR  content-addressed result cache; a warm rerun replays
+//                    cached results and executes zero simulations
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "analysis/surface.hpp"
+#include "exec/executor.hpp"
 #include "sim/machine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -38,14 +46,22 @@ inline std::uint64_t& seed_value() {
   static std::uint64_t seed = 0;
   return seed;
 }
+inline exec::ExecConfig& exec_cfg() {
+  static exec::ExecConfig cfg;
+  return cfg;
+}
 }  // namespace detail
 
 /// Parses the shared bench flags. Returns false (after printing usage) on
-/// --help or a malformed flag; benches should exit then.
+/// --help or a malformed flag; benches should exit then. Output directories
+/// are created once, here, so a bad --csv-dir fails before any simulation
+/// time is spent rather than after.
 inline bool init(int argc, const char* const* argv) {
   util::Cli cli("experiment harness (shared flags; figures print to stdout + CSV)");
   cli.flag("csv-dir", detail::csv_dir(), "directory for CSV output")
-      .flag("seed", "", "noise-seed override (empty = machine preset default)");
+      .flag("seed", "", "noise-seed override (empty = machine preset default)")
+      .flag("jobs", "1", "host-thread budget (1 = serial, 0 = all cores)")
+      .flag("cache-dir", "", "result-cache directory (empty = caching off)");
   if (!cli.parse(argc, argv)) return false;
   detail::csv_dir() = cli.get("csv-dir");
   const std::string seed = cli.get("seed");
@@ -53,10 +69,24 @@ inline bool init(int argc, const char* const* argv) {
     detail::seed_overridden() = true;
     detail::seed_value() = static_cast<std::uint64_t>(cli.get_int("seed"));
   }
+  detail::exec_cfg().jobs = static_cast<int>(cli.get_int("jobs"));
+  detail::exec_cfg().cache_dir = cli.get("cache-dir");
+
+  std::error_code ec;
+  std::filesystem::create_directories(detail::csv_dir(), ec);
+  if (ec && !std::filesystem::is_directory(detail::csv_dir())) {
+    std::fprintf(stderr, "error: cannot create --csv-dir %s (%s)\n",
+                 detail::csv_dir().c_str(), ec.message().c_str());
+    return false;
+  }
   return true;
 }
 
 inline const char* out_dir() { return detail::csv_dir().c_str(); }
+
+/// The shared --jobs / --cache-dir settings, for handing to run_sweep,
+/// EnergyStudy, and the surface generators.
+inline const exec::ExecConfig& exec_config() { return detail::exec_cfg(); }
 
 /// Prints a section header.
 inline void heading(const std::string& title, const std::string& paper_note) {
@@ -65,10 +95,16 @@ inline void heading(const std::string& title, const std::string& paper_note) {
 }
 
 /// Prints the table and writes it as CSV under <csv-dir>/<name>.csv.
+/// A failed CSV write is a broken experiment artifact — fail the whole run
+/// loudly instead of printing a table that silently never landed on disk.
 inline void emit(const util::Table& table, const std::string& name) {
   std::fputs(table.to_string().c_str(), stdout);
   const std::string path = std::string(out_dir()) + "/" + name + ".csv";
-  if (table.write_csv(path)) std::printf("[csv] %s\n", path.c_str());
+  if (!table.write_csv(path)) {
+    std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("[csv] %s\n", path.c_str());
 }
 
 /// Prints an EE surface as table + ASCII shade map and writes the CSV.

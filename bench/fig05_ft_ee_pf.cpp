@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
                  "p dominates; f has little impact; EE drops as p scales");
 
   analysis::EnergyStudy study(machine,
-                              analysis::make_ft_adapter(npb::ft_class(npb::ProblemClass::B)));
+                              analysis::make_ft_adapter(npb::ft_class(npb::ProblemClass::B)),
+                              true, bench::exec_config());
   const double ns[] = {32. * 32 * 32, 64. * 64 * 64, 128. * 128 * 128};
   const int calib_ps[] = {2, 4, 8, 16};
   study.calibrate(ns, calib_ps);
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
   const int ps[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   const double fs[] = {1.6, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8};
   const auto surface = analysis::ee_surface_pf(study.machine_params(), study.workload(), n,
-                                               ps, fs);
+                                               ps, fs, bench::exec_config());
   bench::emit_surface(surface, "fig05_ft_ee_pf");
   return 0;
 }

@@ -10,6 +10,7 @@
 // Replay a failure locally with:
 //
 //   build/bench/fuzz_soak --repro='op=allgather,machine=systemg,topo=flat,...'
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
@@ -51,7 +52,13 @@ int main(int argc, char** argv) {
       .flag("cases", "2000", "number of generated configs to check")
       .flag("repro", "", "replay one repro string instead of sweeping")
       .flag("shrink-budget", "200", "oracle runs spent minimizing each failure")
-      .flag("csv-dir", "bench_out", "directory for the failure-artifact CSV");
+      .flag("csv-dir", "bench_out", "directory for the failure-artifact CSV")
+      .flag("jobs", "1", "host-thread budget (1 = serial, 0 = all cores)")
+      .flag("cache-dir", "", "result-cache directory (empty = caching off)")
+      .flag("budget-seconds", "0",
+            "wall-clock budget; 0 = run exactly --cases, otherwise run "
+            "--chunk-sized sweeps until the budget is spent")
+      .flag("chunk", "200", "cases per chunk under --budget-seconds");
   if (!cli.parse(argc, argv)) return 1;
 
   const std::string repro = cli.get("repro");
@@ -61,10 +68,31 @@ int main(int argc, char** argv) {
   const int cases = static_cast<int>(cli.get_int("cases"));
   check::SweepOptions opts;
   opts.shrink_budget = static_cast<int>(cli.get_int("shrink-budget"));
+  opts.exec.jobs = static_cast<int>(cli.get_int("jobs"));
+  opts.exec.cache_dir = cli.get("cache-dir");
 
-  std::printf("fuzz_soak: %d cases from seed %llu\n", cases,
-              static_cast<unsigned long long>(seed));
-  const check::SweepStats stats = check::run_sweep(seed, cases, opts);
+  const long long budget_s = cli.get_int("budget-seconds");
+  check::SweepStats stats;
+  if (budget_s > 0) {
+    // Wall-clock-budgeted mode: sweep consecutive chunks of the same seeded
+    // case sequence until the budget runs out. Chunk boundaries only affect
+    // how much gets covered, never what any covered case produces.
+    const int chunk = static_cast<int>(cli.get_int("chunk"));
+    std::printf("fuzz_soak: %llds budget, %d-case chunks from seed %llu (jobs=%d)\n",
+                budget_s, chunk, static_cast<unsigned long long>(seed), opts.exec.jobs);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(budget_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      check::SweepStats chunk_stats = check::run_sweep(seed, chunk, opts);
+      stats.merge(chunk_stats);
+      opts.start += chunk;
+      if (!chunk_stats.ok()) break;  // stop soaking, report what failed
+    }
+  } else {
+    std::printf("fuzz_soak: %d cases from seed %llu (jobs=%d)\n", cases,
+                static_cast<unsigned long long>(seed), opts.exec.jobs);
+    stats = check::run_sweep(seed, cases, opts);
+  }
   std::printf("%s\n", stats.summary().c_str());
   if (!stats.covered_all_algorithms()) {
     std::printf("note: sweep too small to cover every registered algorithm\n");

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/cache.hpp"
+#include "exec/codec.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -10,10 +12,82 @@ namespace isoee::analysis {
 
 namespace {
 
+/// Digest of the collective-stack settings a kernel config carries; part of
+/// every adapter fingerprint (algorithm choice changes counters and timing).
+/// A set tuning table is summarized by presence only — the study drivers use
+/// the stock presets, which are identical whenever this flag is.
+std::string collectives_fp(const smpi::CollectiveConfig& c) {
+  return std::to_string(static_cast<int>(c.alltoall)) + "," +
+         std::to_string(static_cast<int>(c.allreduce)) + "," +
+         std::to_string(static_cast<int>(c.bcast)) + "," +
+         std::to_string(static_cast<int>(c.allgather)) + "," +
+         (c.tuning ? "tuned" : "fixed") + "," + exec::encode_f64(c.comm_gear_ghz);
+}
+
+/// Exact round-trip codecs for the cached simulation-derived quantities.
+/// Doubles travel as IEEE-754 hex so a warm-cache rerun is byte-identical.
+std::string encode_params(const model::MachineParams& m) {
+  return m.name + '\x1f' +
+         exec::encode_doubles({m.cpi, m.f_ghz, m.base_ghz, m.t_m, m.t_s, m.t_w,
+                               m.p_sys_idle, m.dp_c_base, m.dp_m, m.dp_io, m.gamma,
+                               m.poll_factor, m.f_comm_ghz});
+}
+
+model::MachineParams decode_params(const std::string& text) {
+  const std::size_t sep = text.find('\x1f');
+  if (sep == std::string::npos) throw std::invalid_argument("machine-params entry: no name");
+  const std::vector<double> v = exec::decode_doubles(std::string_view(text).substr(sep + 1));
+  if (v.size() != 13) throw std::invalid_argument("machine-params entry: wrong arity");
+  model::MachineParams m;
+  m.name = text.substr(0, sep);
+  m.cpi = v[0];
+  m.f_ghz = v[1];
+  m.base_ghz = v[2];
+  m.t_m = v[3];
+  m.t_s = v[4];
+  m.t_w = v[5];
+  m.p_sys_idle = v[6];
+  m.dp_c_base = v[7];
+  m.dp_m = v[8];
+  m.dp_io = v[9];
+  m.gamma = v[10];
+  m.poll_factor = v[11];
+  m.f_comm_ghz = v[12];
+  return m;
+}
+
+std::string encode_sample(const CounterSample& s) {
+  return exec::encode_doubles({s.n, static_cast<double>(s.p), s.instructions,
+                               s.mem_accesses, s.mem_time, s.io_time, s.makespan,
+                               s.messages, s.bytes, s.alpha});
+}
+
+CounterSample decode_sample(const std::string& text) {
+  const std::vector<double> v = exec::decode_doubles(text);
+  if (v.size() != 10) throw std::invalid_argument("counter-sample entry: wrong arity");
+  CounterSample s;
+  s.n = v[0];
+  s.p = static_cast<int>(v[1]);
+  s.instructions = v[2];
+  s.mem_accesses = v[3];
+  s.mem_time = v[4];
+  s.io_time = v[5];
+  s.makespan = v[6];
+  s.messages = v[7];
+  s.bytes = v[8];
+  s.alpha = v[9];
+  return s;
+}
+
 class EpAdapter final : public BenchmarkAdapter {
  public:
   explicit EpAdapter(npb::EpConfig base) : base_(base) {}
   std::string name() const override { return "EP"; }
+
+  std::string fingerprint() const override {
+    return "EP;trials=" + std::to_string(base_.trials) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
 
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
@@ -38,6 +112,13 @@ class FtAdapter final : public BenchmarkAdapter {
  public:
   explicit FtAdapter(npb::FtConfig base) : base_(base) {}
   std::string name() const override { return "FT"; }
+
+  std::string fingerprint() const override {
+    return "FT;nx=" + std::to_string(base_.nx) + ";ny=" + std::to_string(base_.ny) +
+           ";nz=" + std::to_string(base_.nz) + ";iters=" + std::to_string(base_.iters) +
+           ";alpha=" + exec::encode_f64(base_.evolve_alpha) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
 
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
@@ -74,6 +155,13 @@ class CgAdapter final : public BenchmarkAdapter {
   explicit CgAdapter(npb::CgConfig base) : base_(base) {}
   std::string name() const override { return "CG"; }
 
+  std::string fingerprint() const override {
+    return "CG;n=" + std::to_string(base_.n) + ";offsets=" + std::to_string(base_.offsets) +
+           ";outer=" + std::to_string(base_.outer) + ";inner=" + std::to_string(base_.inner) +
+           ";shift=" + exec::encode_f64(base_.shift) + ";seed=" + std::to_string(base_.seed) +
+           ";coll=" + collectives_fp(base_.collectives);
+  }
+
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
     npb::CgConfig cfg = base_;
@@ -99,6 +187,12 @@ class IsAdapter final : public BenchmarkAdapter {
   explicit IsAdapter(npb::IsConfig base) : base_(base) {}
   std::string name() const override { return "IS"; }
 
+  std::string fingerprint() const override {
+    return "IS;nkeys=" + std::to_string(base_.n_keys) +
+           ";bits=" + std::to_string(base_.key_bits) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
+
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
     npb::IsConfig cfg = base_;
@@ -122,6 +216,15 @@ class MgAdapter final : public BenchmarkAdapter {
  public:
   explicit MgAdapter(npb::MgConfig base) : base_(base) {}
   std::string name() const override { return "MG"; }
+
+  std::string fingerprint() const override {
+    return "MG;nx=" + std::to_string(base_.nx) + ";ny=" + std::to_string(base_.ny) +
+           ";nz=" + std::to_string(base_.nz) + ";cycles=" + std::to_string(base_.cycles) +
+           ";pre=" + std::to_string(base_.pre_smooth) +
+           ";post=" + std::to_string(base_.post_smooth) +
+           ";maxlev=" + std::to_string(base_.max_levels) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
 
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
@@ -159,6 +262,13 @@ class CkptAdapter final : public BenchmarkAdapter {
   explicit CkptAdapter(npb::CkptConfig base) : base_(base) {}
   std::string name() const override { return "CKPT"; }
 
+  std::string fingerprint() const override {
+    return "CKPT;elements=" + std::to_string(base_.elements) +
+           ";iterations=" + std::to_string(base_.iterations) +
+           ";every=" + std::to_string(base_.ckpt_every) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
+
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
     npb::CkptConfig cfg = base_;
@@ -183,6 +293,13 @@ class SweepAdapter final : public BenchmarkAdapter {
  public:
   explicit SweepAdapter(npb::SweepConfig base) : base_(base) {}
   std::string name() const override { return "SWEEP"; }
+
+  std::string fingerprint() const override {
+    return "SWEEP;nx=" + std::to_string(base_.nx) + ";ny=" + std::to_string(base_.ny) +
+           ";sweeps=" + std::to_string(base_.sweeps) +
+           ";tile=" + std::to_string(base_.tile_w) +
+           ";seed=" + exec::encode_f64(base_.seed) + ";coll=" + collectives_fp(base_.collectives);
+  }
 
   sim::RunResult run(const sim::MachineSpec& machine, double n, int p,
                      const RunOptions& options, double* snapped_n) const override {
@@ -235,27 +352,73 @@ std::unique_ptr<BenchmarkAdapter> make_sweep_adapter(npb::SweepConfig base) {
 }
 
 EnergyStudy::EnergyStudy(sim::MachineSpec machine, std::unique_ptr<BenchmarkAdapter> adapter,
-                         bool measured_calibration)
-    : machine_(std::move(machine)), adapter_(std::move(adapter)) {
+                         bool measured_calibration, exec::ExecConfig exec)
+    : machine_(std::move(machine)),
+      adapter_(std::move(adapter)),
+      exec_(std::move(exec)),
+      cache_(std::make_unique<exec::ResultCache>(exec_.cache_dir)),
+      machine_fp_(exec::machine_fingerprint(machine_)) {
+  // The microbenchmark pass itself runs simulations, so it is cached too —
+  // otherwise a "warm" figure rerun would still simulate its calibration.
+  const std::string key = std::string("machine-params\x1f") + machine_fp_ + '\x1f' +
+                          (measured_calibration ? "measured" : "nominal");
+  if (cache_->enabled()) {
+    if (const auto hit = cache_->load(key)) {
+      machine_params_ = decode_params(*hit);
+      return;
+    }
+  }
   machine_params_ = measured_calibration ? tools::calibrate_machine(machine_)
                                          : tools::nominal_machine_params(machine_);
+  if (cache_->enabled()) cache_->store(key, encode_params(machine_params_));
+}
+
+std::string EnergyStudy::study_key(const char* kind, double n, int p, double f_ghz) const {
+  return std::string(kind) + '\x1f' + machine_fp_ + '\x1f' + adapter_->fingerprint() +
+         '\x1f' + exec::encode_f64(n) + '\x1f' + std::to_string(p) + '\x1f' +
+         exec::encode_f64(f_ghz);
 }
 
 void EnergyStudy::calibrate(std::span<const double> ns, std::span<const int> ps) {
-  std::vector<CounterSample> samples;
-  // Sequential sweep over problem sizes.
-  for (double n : ns) {
-    double snapped = n;
-    const sim::RunResult run = adapter_->run(machine_, n, 1, RunOptions(), &snapped);
-    samples.push_back(make_sample(run, snapped, 1));
-  }
-  // Parallel sweep at the largest calibration size.
+  // Calibration points: sequential sweep over problem sizes, then a parallel
+  // sweep at the largest size. Each point is an independent simulation, so
+  // they run as a batch on the executor pool (and individually cacheable).
+  struct Point {
+    double n;
+    int p;
+  };
+  std::vector<Point> points;
+  for (double n : ns) points.push_back({n, 1});
   const double n_par = ns.empty() ? adapter_->default_n() : ns.back();
   for (int p : ps) {
     if (p <= 1) continue;
-    double snapped = n_par;
-    const sim::RunResult run = adapter_->run(machine_, n_par, p, RunOptions(), &snapped);
-    samples.push_back(make_sample(run, snapped, p));
+    points.push_back({n_par, p});
+  }
+
+  std::vector<exec::Case> cases;
+  cases.reserve(points.size());
+  for (const Point& pt : points) {
+    exec::Case c;
+    c.threads = pt.p;
+    if (cache_->enabled()) c.cache_key = study_key("calibrate", pt.n, pt.p, 0.0);
+    c.run = [this, pt]() -> std::string {
+      double snapped = pt.n;
+      const sim::RunResult run = adapter_->run(machine_, pt.n, pt.p, RunOptions(), &snapped);
+      return encode_sample(make_sample(run, snapped, pt.p));
+    };
+    cases.push_back(std::move(c));
+  }
+
+  exec::BatchOptions batch;
+  batch.thread_budget = exec_.jobs;
+  batch.cache = cache_->enabled() ? cache_.get() : nullptr;
+  const std::vector<exec::CaseResult> results = exec::run_batch(cases, batch);
+
+  std::vector<CounterSample> samples;
+  samples.reserve(results.size());
+  for (const exec::CaseResult& r : results) {
+    if (!r.error.empty()) throw std::runtime_error("calibration run failed: " + r.error);
+    samples.push_back(decode_sample(r.payload));
   }
   workload_ = adapter_->fit(samples, machine_params_.t_m);
   ISOEE_INFO("%s: fitted workload model from %zu samples", adapter_->name().c_str(),
@@ -283,16 +446,34 @@ ValidationPoint EnergyStudy::validate(double n, int p, double f_ghz) const {
   point.p = p;
   point.f_ghz = f_ghz > 0.0 ? f_ghz : machine_params_.base_ghz;
 
-  RunOptions options;
-  options.f_ghz = point.f_ghz;
-  double snapped = n;
-  const sim::RunResult run = adapter_->run(machine_, n, p, options, &snapped);
-  point.n = snapped;
-  point.actual_j = run.total_energy_j();
-  point.actual_s = run.makespan;
+  const std::string key =
+      cache_->enabled() ? study_key("validate", n, p, point.f_ghz) : std::string();
+  bool measured = false;
+  if (!key.empty()) {
+    if (const auto hit = cache_->load(key)) {
+      const std::vector<double> v = exec::decode_doubles(*hit);
+      if (v.size() != 3) throw std::invalid_argument("validate entry: wrong arity");
+      point.n = v[0];
+      point.actual_j = v[1];
+      point.actual_s = v[2];
+      measured = true;
+    }
+  }
+  if (!measured) {
+    RunOptions options;
+    options.f_ghz = point.f_ghz;
+    double snapped = n;
+    const sim::RunResult run = adapter_->run(machine_, n, p, options, &snapped);
+    point.n = snapped;
+    point.actual_j = run.total_energy_j();
+    point.actual_s = run.makespan;
+    if (!key.empty()) {
+      cache_->store(key, exec::encode_doubles({point.n, point.actual_j, point.actual_s}));
+    }
+  }
 
-  const model::EnergyPrediction energy = predict(snapped, p, point.f_ghz);
-  const model::PerfPrediction perf = predict_performance(snapped, p, point.f_ghz);
+  const model::EnergyPrediction energy = predict(point.n, p, point.f_ghz);
+  const model::PerfPrediction perf = predict_performance(point.n, p, point.f_ghz);
   point.predicted_j = energy.Ep;
   point.predicted_s = perf.Tp;
   point.error_pct = util::ape(point.actual_j, point.predicted_j);

@@ -20,6 +20,7 @@
 #include "analysis/runner.hpp"
 #include "analysis/workload_fit.hpp"
 #include "benchtools/calibrate.hpp"
+#include "exec/executor.hpp"
 #include "model/isocontour.hpp"
 #include "model/model.hpp"
 #include "model/workloads.hpp"
@@ -31,6 +32,12 @@ class BenchmarkAdapter {
  public:
   virtual ~BenchmarkAdapter() = default;
   virtual std::string name() const = 0;
+
+  /// Deterministic digest of every base-config field that influences run():
+  /// two adapters with different fingerprints may produce different
+  /// measurements at the same (n, p). Result-cache keys are built from this,
+  /// so omitting a significant field here silently reuses stale results.
+  virtual std::string fingerprint() const = 0;
 
   /// Runs the kernel at problem size ~n on p ranks; returns the measurement.
   /// Implementations may snap n to the nearest valid size (e.g. FT grids);
@@ -74,9 +81,15 @@ class EnergyStudy {
  public:
   /// `measured_calibration` selects between microbenchmark-measured machine
   /// parameters (the paper's protocol; inherits noise) and nominal spec
-  /// values (ground truth, for exactness tests).
+  /// values (ground truth, for exactness tests). `exec` carries the shared
+  /// --jobs / --cache-dir settings: calibration and validation runs execute
+  /// on the exec::run_batch pool, and with a cache directory every
+  /// simulation-derived quantity (machine microbenchmark parameters, counter
+  /// samples, validation measurements) is content-addressed on disk — a warm
+  /// rerun of a figure driver executes zero simulations and reproduces its
+  /// CSVs byte for byte.
   EnergyStudy(sim::MachineSpec machine, std::unique_ptr<BenchmarkAdapter> adapter,
-              bool measured_calibration = true);
+              bool measured_calibration = true, exec::ExecConfig exec = {});
 
   /// Runs the benchmark over the given calibration points and fits the
   /// workload model. Typical: a couple of n at p=1 plus small p at default n.
@@ -95,8 +108,13 @@ class EnergyStudy {
   const BenchmarkAdapter& adapter() const { return *adapter_; }
 
  private:
+  std::string study_key(const char* kind, double n, int p, double f_ghz) const;
+
   sim::MachineSpec machine_;
   std::unique_ptr<BenchmarkAdapter> adapter_;
+  exec::ExecConfig exec_;
+  std::unique_ptr<exec::ResultCache> cache_;
+  std::string machine_fp_;
   model::MachineParams machine_params_;
   std::unique_ptr<model::WorkloadModel> workload_;
 };

@@ -2,40 +2,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace isoee::analysis {
 
+namespace {
+
+/// Evaluates one row per p on the executor pool. Each row is written into its
+/// preallocated slot, so the grid layout (and every value — pure arithmetic on
+/// the fitted model) is independent of the thread budget.
+void fill_rows(EeSurface& s, const exec::ExecConfig& exec,
+               const std::function<double(int, double)>& cell) {
+  s.ee.assign(s.ps.size(), {});
+  std::vector<exec::Case> cases;
+  cases.reserve(s.ps.size());
+  for (std::size_t i = 0; i < s.ps.size(); ++i) {
+    exec::Case c;
+    c.run = [&s, &cell, i]() -> std::string {
+      std::vector<double> row;
+      row.reserve(s.cols.size());
+      for (double col : s.cols) row.push_back(cell(s.ps[i], col));
+      s.ee[i] = std::move(row);
+      return std::string();
+    };
+    cases.push_back(std::move(c));
+  }
+  exec::BatchOptions batch;
+  batch.thread_budget = exec.jobs;
+  exec::run_batch(cases, batch);
+}
+
+}  // namespace
+
 EeSurface ee_surface_pf(const model::MachineParams& machine,
                         const model::WorkloadModel& workload, double n,
-                        std::span<const int> ps, std::span<const double> fs_ghz) {
+                        std::span<const int> ps, std::span<const double> fs_ghz,
+                        const exec::ExecConfig& exec) {
   EeSurface s;
   s.title = workload.name() + " EE(p, f), n = " + util::num(n, 0);
   s.col_axis = "f (GHz)";
   s.ps.assign(ps.begin(), ps.end());
   s.cols.assign(fs_ghz.begin(), fs_ghz.end());
-  for (int p : ps) {
-    std::vector<double> row;
-    row.reserve(fs_ghz.size());
-    for (double f : fs_ghz) row.push_back(model::ee_at(machine, workload, n, p, f));
-    s.ee.push_back(std::move(row));
-  }
+  fill_rows(s, exec,
+            [&](int p, double f) { return model::ee_at(machine, workload, n, p, f); });
   return s;
 }
 
 EeSurface ee_surface_pn(const model::MachineParams& machine,
                         const model::WorkloadModel& workload, double f_ghz,
-                        std::span<const int> ps, std::span<const double> ns) {
+                        std::span<const int> ps, std::span<const double> ns,
+                        const exec::ExecConfig& exec) {
   EeSurface s;
   s.title = workload.name() + " EE(p, n), f = " + util::num(f_ghz, 1) + " GHz";
   s.col_axis = "n";
   s.ps.assign(ps.begin(), ps.end());
   s.cols.assign(ns.begin(), ns.end());
-  for (int p : ps) {
-    std::vector<double> row;
-    row.reserve(ns.size());
-    for (double n : ns) row.push_back(model::ee_at(machine, workload, n, p, f_ghz));
-    s.ee.push_back(std::move(row));
-  }
+  fill_rows(s, exec,
+            [&](int p, double n) { return model::ee_at(machine, workload, n, p, f_ghz); });
   return s;
 }
 

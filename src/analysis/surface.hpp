@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "model/isocontour.hpp"
 #include "util/table.hpp"
 
@@ -22,15 +23,19 @@ struct EeSurface {
   std::vector<std::vector<double>> ee;  // [row][col]
 };
 
-/// EE over (p, f) at fixed n (Figs 5, 7, 9).
+/// EE over (p, f) at fixed n (Figs 5, 7, 9). Rows are independent analytic
+/// evaluations of the fitted model; with exec.jobs != 1 they are computed on
+/// the executor pool — the grid is identical for every jobs value.
 EeSurface ee_surface_pf(const model::MachineParams& machine,
                         const model::WorkloadModel& workload, double n,
-                        std::span<const int> ps, std::span<const double> fs_ghz);
+                        std::span<const int> ps, std::span<const double> fs_ghz,
+                        const exec::ExecConfig& exec = {});
 
 /// EE over (p, n) at fixed f (Figs 6, 8).
 EeSurface ee_surface_pn(const model::MachineParams& machine,
                         const model::WorkloadModel& workload, double f_ghz,
-                        std::span<const int> ps, std::span<const double> ns);
+                        std::span<const int> ps, std::span<const double> ns,
+                        const exec::ExecConfig& exec = {});
 
 /// Renders the surface as an aligned table (EE with 4 decimals).
 util::Table surface_table(const EeSurface& surface);

@@ -1,5 +1,6 @@
 #include "check/check.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "check/generators.hpp"
@@ -27,13 +28,32 @@ std::string SweepStats::summary() const {
   os << cases << " cases, " << failures.size() << " failures; " << flat_cases
      << " flat / " << hierarchical_cases << " two-level; " << zero_byte_cases
      << " zero-byte, " << perturbed_cases << " perturbed, " << tuned_cases << " tuned";
+  if (cache_hits > 0) os << "; " << cache_hits << " cached";
   return os.str();
+}
+
+void SweepStats::merge(const SweepStats& other) {
+  cases += other.cases;
+  failures.insert(failures.end(), other.failures.begin(), other.failures.end());
+  for (const auto& [op, n] : other.cases_per_op) cases_per_op[op] += n;
+  for (const auto& [algo, n] : other.cases_per_algorithm) cases_per_algorithm[algo] += n;
+  flat_cases += other.flat_cases;
+  hierarchical_cases += other.hierarchical_cases;
+  zero_byte_cases += other.zero_byte_cases;
+  perturbed_cases += other.perturbed_cases;
+  tuned_cases += other.tuned_cases;
+  cache_hits += other.cache_hits;
 }
 
 SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts) {
   SweepStats stats;
+
+  // Coverage accounting is a pure function of the generated configs, so it is
+  // tallied up front, in index order, independently of how cases execute.
+  std::vector<CheckConfig> configs;
+  configs.reserve(static_cast<std::size_t>(std::max(count, 0)));
   for (int i = 0; i < count; ++i) {
-    const CheckConfig cfg = generate_case(seed, i);
+    const CheckConfig cfg = generate_case(seed, opts.start + i);
     ++stats.cases;
     ++stats.cases_per_op[op_name(cfg.op)];
     if (op_has_algorithms(cfg.op) && !cfg.tuned) {
@@ -46,18 +66,71 @@ SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts) {
     if (cfg.elems == 0) ++stats.zero_byte_cases;
     if (cfg.perturb) ++stats.perturbed_cases;
     if (cfg.tuned) ++stats.tuned_cases;
+    configs.push_back(cfg);
+  }
 
-    if (auto failure = check_case(cfg, opts.fault)) {
-      SweepFailure f;
-      f.original = cfg;
-      f.what = std::move(*failure);
-      f.shrunk = cfg;
-      if (opts.shrink_failures) {
-        f.shrunk = shrink(cfg, failure_predicate(opts.fault), opts.shrink_budget).config;
-      }
-      f.shrunk_repro = f.shrunk.repro();
-      stats.failures.push_back(std::move(f));
+  // Each case — oracle plus shrink — is a pure function of its own config and
+  // the sweep options, so the payloads (and therefore the failure list) are
+  // identical for every jobs value, and cacheable under a key derived from
+  // exactly those inputs.
+  exec::ResultCache cache(opts.exec.cache_dir);
+  std::vector<exec::Case> cases;
+  cases.reserve(configs.size());
+  for (const CheckConfig& cfg : configs) {
+    exec::Case c;
+    c.threads = cfg.p;  // peak engine threads the oracle's runs spawn at once
+    if (cache.enabled()) {
+      c.cache_key = "sweep\x1f" + cfg.repro() +
+                    "\x1f"
+                    "fault=" +
+                    std::string(opts.fault.ring_allgather_off_by_one ? "1" : "0") +
+                    "\x1f"
+                    "shrink=" +
+                    std::to_string(opts.shrink_failures ? opts.shrink_budget : 0);
     }
+    c.run = [cfg, &opts]() -> std::string {
+      auto failure = check_case(cfg, opts.fault);
+      if (!failure) return std::string();
+      std::string shrunk_repro = cfg.repro();
+      if (opts.shrink_failures) {
+        shrunk_repro =
+            shrink_repro(cfg.repro(), failure_predicate(opts.fault), opts.shrink_budget);
+      }
+      return *failure + '\x1f' + shrunk_repro;
+    };
+    cases.push_back(std::move(c));
+  }
+
+  exec::BatchStats batch_stats;
+  exec::BatchOptions batch;
+  batch.thread_budget = opts.exec.jobs;
+  batch.cache = cache.enabled() ? &cache : nullptr;
+  batch.stats = &batch_stats;
+  const std::vector<exec::CaseResult> results = exec::run_batch(cases, batch);
+  stats.cache_hits = batch_stats.cache_hits;
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exec::CaseResult& r = results[i];
+    std::string what;
+    std::string shrunk_repro;
+    if (!r.error.empty()) {
+      // check_case never lets simulator exceptions escape, so this is an
+      // executor-level problem; surface it as a failure rather than dropping it.
+      what = "executor: " + r.error;
+      shrunk_repro = configs[i].repro();
+    } else if (!r.payload.empty()) {
+      const std::size_t sep = r.payload.rfind('\x1f');
+      what = r.payload.substr(0, sep);
+      shrunk_repro = sep == std::string::npos ? configs[i].repro() : r.payload.substr(sep + 1);
+    } else {
+      continue;  // pass
+    }
+    SweepFailure f;
+    f.original = configs[i];
+    f.what = std::move(what);
+    f.shrunk = CheckConfig::from_repro(shrunk_repro);
+    f.shrunk_repro = std::move(shrunk_repro);
+    stats.failures.push_back(std::move(f));
   }
   return stats;
 }

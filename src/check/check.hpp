@@ -11,6 +11,7 @@
 
 #include "check/config.hpp"
 #include "check/oracle.hpp"
+#include "exec/executor.hpp"
 
 namespace isoee::check {
 
@@ -33,20 +34,31 @@ struct SweepStats {
   int zero_byte_cases = 0;
   int perturbed_cases = 0;
   int tuned_cases = 0;
+  std::uint64_t cache_hits = 0;      // cases answered from the result cache
 
   bool ok() const { return failures.empty(); }
   /// True when every registered algorithm of every collective family ran.
   bool covered_all_algorithms() const;
   std::string summary() const;
+
+  /// Accumulates another chunk's stats (the wall-clock-budgeted soak driver
+  /// runs the sweep in consecutive [start, start+count) chunks).
+  void merge(const SweepStats& other);
 };
 
 struct SweepOptions {
   bool shrink_failures = true;
   int shrink_budget = 120;           // oracle calls per failure minimization
+  int start = 0;                     // first case index (chunked soak runs)
   FaultInjection fault;              // test hook; defaults to no fault
+  exec::ExecConfig exec;             // --jobs / --cache-dir
 };
 
-/// Runs `count` generated configs under the oracle.
+/// Runs generated configs at indices [opts.start, opts.start + count) under
+/// the oracle. Cases execute on the exec::run_batch pool (opts.exec.jobs);
+/// because every case — oracle run and shrink included — is a pure function
+/// of its own config, the returned stats, failures, and shrunk repros are
+/// byte-identical for every jobs value.
 SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts = {});
 
 }  // namespace isoee::check

@@ -64,4 +64,11 @@ ShrinkResult shrink(const CheckConfig& failing,
   return res;
 }
 
+std::string shrink_repro(const std::string& failing_repro,
+                         const std::function<bool(const CheckConfig&)>& still_fails,
+                         int max_predicate_calls) {
+  const CheckConfig failing = CheckConfig::from_repro(failing_repro);
+  return shrink(failing, still_fails, max_predicate_calls).config.repro();
+}
+
 }  // namespace isoee::check

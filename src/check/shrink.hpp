@@ -24,4 +24,14 @@ ShrinkResult shrink(const CheckConfig& failing,
                     const std::function<bool(const CheckConfig&)>& still_fails,
                     int max_predicate_calls = 200);
 
+/// String-to-string shrinking front end: parses the repro, shrinks, returns
+/// the minimized repro. Pure by construction — its output depends only on the
+/// input string, the predicate, and the budget, never on where in a sweep the
+/// failure was found or on any shared generator state. This is the only entry
+/// point run_sweep uses, which is what makes parallel sweeps produce shrunk
+/// repros byte-identical to serial ones.
+std::string shrink_repro(const std::string& failing_repro,
+                         const std::function<bool(const CheckConfig&)>& still_fails,
+                         int max_predicate_calls = 200);
+
 }  // namespace isoee::check

@@ -1,0 +1,135 @@
+#include "exec/cache.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exec/codec.hpp"
+#include "sim/machine.hpp"
+#include "util/log.hpp"
+
+namespace isoee::exec {
+
+namespace fs = std::filesystem;
+
+std::string machine_fingerprint(const sim::MachineSpec& m) {
+  std::ostringstream os;
+  os << "name=" << m.name << ";nodes=" << m.nodes << ";spn=" << m.sockets_per_node
+     << ";cps=" << m.cores_per_socket << ";cpi=" << encode_f64(m.cpu.cpi)
+     << ";base=" << encode_f64(m.cpu.base_ghz) << ";gears=";
+  for (double g : m.cpu.gears_ghz) os << encode_f64(g) << ",";
+  os << ";caches=";
+  for (const auto& c : m.mem.caches) {
+    os << c.capacity_bytes << ":" << encode_f64(c.latency_s) << ",";
+  }
+  os << ";dram=" << encode_f64(m.mem.dram_latency_s) << ";net=" << m.net.name
+     << ";ts=" << encode_f64(m.net.t_s) << ";bw=" << encode_f64(m.net.bandwidth_Bps)
+     << ";hier=" << (m.net.hierarchical ? 1 : 0)
+     << ";its=" << encode_f64(m.net.intra_t_s)
+     << ";ibw=" << encode_f64(m.net.intra_bandwidth_Bps)
+     << ";dbw=" << encode_f64(m.disk.bandwidth_Bps)
+     << ";dlat=" << encode_f64(m.disk.latency_s)
+     << ";pci=" << encode_f64(m.power.cpu_idle_w)
+     << ";pcd=" << encode_f64(m.power.cpu_delta_w)
+     << ";pmi=" << encode_f64(m.power.mem_idle_w)
+     << ";pmd=" << encode_f64(m.power.mem_delta_w)
+     << ";pii=" << encode_f64(m.power.io_idle_w)
+     << ";pid=" << encode_f64(m.power.io_delta_w)
+     << ";po=" << encode_f64(m.power.other_w) << ";gamma=" << encode_f64(m.power.gamma)
+     << ";poll=" << encode_f64(m.power.net_poll_cpu_factor)
+     << ";noise=" << (m.noise.enabled ? 1 : 0)
+     << ";ns=" << encode_f64(m.noise.compute_sigma) << ","
+     << encode_f64(m.noise.memory_sigma) << "," << encode_f64(m.noise.network_sigma)
+     << "," << encode_f64(m.noise.io_sigma) << "," << encode_f64(m.noise.sensor_sigma)
+     << ";nseed=" << m.noise.seed << ";ovl=" << encode_f64(m.mem_overlap);
+  return os.str();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec && !fs::is_directory(dir_)) {
+    ISOEE_WARN("result cache disabled: cannot create %s (%s)", dir_.c_str(),
+               ec.message().c_str());
+    return;
+  }
+  enabled_ = true;
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  // Two independent FNV lanes + the salt give a 128-bit content address; the
+  // stored key line catches the (astronomically unlikely) residual collision.
+  const std::string salted = std::string(kCacheSalt) + "\x1f" + key;
+  const std::uint64_t a = fnv1a(salted);
+  const std::uint64_t b = fnv1a(salted, 0x9ae16a3b2f90404fULL);
+  const std::string hex = encode_u64(a) + encode_u64(b);
+  return dir_ + "/" + hex.substr(0, 2) + "/" + hex + ".result";
+}
+
+std::optional<std::string> ResultCache::load(const std::string& key) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string stored_key;
+  if (!std::getline(in, stored_key) || stored_key != std::string(kCacheSalt) + "\x1f" + key) {
+    ++misses_;  // corrupt entry or hash collision: treat as absent
+    return std::nullopt;
+  }
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  if (in.bad()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return payload.str();
+}
+
+bool ResultCache::store(const std::string& key, const std::string& payload) const {
+  if (!enabled_) return false;
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec && !fs::is_directory(fs::path(path).parent_path())) {
+    ISOEE_WARN("result cache: cannot create shard dir for %s (%s)", path.c_str(),
+               ec.message().c_str());
+    return false;
+  }
+  // Unique temp name per process and thread so concurrent cases writing the
+  // same entry never interleave; rename() is atomic, last writer wins.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) {
+      ISOEE_WARN("result cache: cannot open %s for writing", tmp.c_str());
+      return false;
+    }
+    out << kCacheSalt << "\x1f" << key << "\n" << payload;
+    out.flush();
+    if (!out) {
+      ISOEE_WARN("result cache: short write to %s", tmp.c_str());
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ISOEE_WARN("result cache: rename %s -> %s failed (%s)", tmp.c_str(), path.c_str(),
+               ec.message().c_str());
+    fs::remove(tmp, ec);
+    return false;
+  }
+  ++stores_;
+  return true;
+}
+
+}  // namespace isoee::exec

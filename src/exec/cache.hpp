@@ -1,0 +1,72 @@
+// Content-addressed on-disk result cache for simulation cases.
+//
+// A cache entry maps a *key string* — the full reproducible description of a
+// case: its config repro string, the machine preset fingerprint, and the
+// code-version salt — to an opaque payload (the case's serialized result).
+// Keys are hashed (2 x 64-bit FNV-1a lanes) into the file name; the full key
+// is stored as the entry's first line and compared on load, so a hash
+// collision degrades to a miss, never to a wrong result.
+//
+// Entries are written to a unique temp file and atomically renamed into
+// place, so concurrent cases (and concurrent processes) can share one cache
+// directory without torn or partial entries.
+//
+// Invalidation is by key content only: bump kCacheSalt whenever a change to
+// the simulator, the collectives, or the model alters any simulated
+// observable — every old entry then misses and is re-simulated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace isoee::sim {
+struct MachineSpec;
+}
+
+namespace isoee::exec {
+
+/// Code-version salt mixed into every cache key. Bump on any change that
+/// alters simulated results (engine timing, collective schedules, energy
+/// accounting, kernel numerics, ...).
+inline constexpr const char* kCacheSalt = "isoee-exec-v1";
+
+/// Deterministic full-field dump of a machine description, for cache keys.
+/// Two specs with any differing field (including noise seed and topology)
+/// produce different strings.
+std::string machine_fingerprint(const sim::MachineSpec& spec);
+
+class ResultCache {
+ public:
+  /// Opens (and creates, once, up front) the cache directory. On failure the
+  /// cache logs a warning and stays disabled: load always misses, store is a
+  /// no-op — callers never have to special-case an unusable cache dir.
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the payload stored under `key`, or nullopt (miss, corrupt entry,
+  /// or key-collision mismatch).
+  std::optional<std::string> load(const std::string& key) const;
+
+  /// Stores `payload` under `key` (temp file + atomic rename). Returns false
+  /// on I/O failure (logged, non-fatal: the result is simply not reused).
+  bool store(const std::string& key, const std::string& payload) const;
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t stores() const { return stores_.load(); }
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  std::string dir_;
+  bool enabled_ = false;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace isoee::exec

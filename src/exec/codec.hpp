@@ -1,0 +1,83 @@
+// Exact serialization primitives for the result cache.
+//
+// Cached payloads must reproduce results *bit for bit* — a warm-cache bench
+// rerun has to emit byte-identical CSVs — so doubles are encoded as the hex
+// of their IEEE-754 bit pattern, never through printf round-tripping.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace isoee::exec {
+
+inline std::string encode_u64(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+inline std::optional<std::uint64_t> decode_u64(std::string_view hex) {
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+inline std::string encode_f64(double d) { return encode_u64(std::bit_cast<std::uint64_t>(d)); }
+
+/// Space-separated hex words, one per double. Exact round-trip (NaN payloads
+/// and signed zeros included).
+inline std::string encode_doubles(const std::vector<double>& values) {
+  std::string out;
+  out.reserve(values.size() * 17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += encode_f64(values[i]);
+  }
+  return out;
+}
+
+/// Inverse of encode_doubles. Throws std::invalid_argument on malformed text
+/// (a corrupted cache entry must fail loudly, not deserialize garbage).
+inline std::vector<double> decode_doubles(std::string_view text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = std::min(text.find(' ', pos), text.size());
+    const auto word = decode_u64(text.substr(pos, end - pos));
+    if (!word) throw std::invalid_argument("decode_doubles: malformed hex word");
+    out.push_back(std::bit_cast<double>(*word));
+    pos = end == text.size() ? end : end + 1;
+  }
+  return out;
+}
+
+/// FNV-1a over bytes; `basis` varies to derive independent 64-bit lanes.
+inline std::uint64_t fnv1a(std::string_view bytes,
+                           std::uint64_t basis = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = basis;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace isoee::exec

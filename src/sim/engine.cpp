@@ -249,6 +249,12 @@ std::vector<std::byte> RankCtx::wait(RecvHandle& handle) {
 // Engine
 // ---------------------------------------------------------------------------
 
+namespace {
+std::atomic<std::uint64_t> g_runs_started{0};
+}
+
+std::uint64_t Engine::total_runs_started() { return g_runs_started.load(); }
+
 Engine::Engine(MachineSpec spec, Options opts) : spec_(std::move(spec)), opts_(opts) {
   if (const std::string err = spec_.validate(); !err.empty()) {
     throw std::invalid_argument("invalid MachineSpec: " + err);
@@ -268,13 +274,27 @@ Engine::Message Engine::take(int dst, int src, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   auto& queue = box.queues[{src, tag}];
-  box.cv.wait(lock, [&] { return !queue.empty(); });
+  box.cv.wait(lock, [&] { return !queue.empty() || box.poisoned; });
+  // Messages that already arrived are still delivered after poisoning; only a
+  // receive that would block forever (its sender is gone) is abandoned.
+  if (queue.empty()) throw RankAbandoned();
   Message msg = std::move(queue.front());
   queue.pop_front();
   return msg;
 }
 
+void Engine::poison_all() {
+  for (auto& box : mailboxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->poisoned = true;
+    }
+    box->cv.notify_all();
+  }
+}
+
 RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
+  g_runs_started.fetch_add(1, std::memory_order_relaxed);
   if (nranks <= 0) throw std::invalid_argument("run: nranks must be positive");
   if (nranks > spec_.total_cores()) {
     throw std::invalid_argument("run: nranks exceeds machine cores (" +
@@ -301,11 +321,15 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
       try {
         body(*contexts[static_cast<std::size_t>(r)]);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-        // Unblock peers waiting on us is not generally possible; tests and
-        // applications are expected to be deadlock-free. We still record the
-        // error and let matched ranks finish or fail on their own.
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock peers waiting on this rank: poison every mailbox so blocked
+        // receives throw RankAbandoned instead of deadlocking. first_error is
+        // recorded before poisoning, so the rethrown error is always the root
+        // cause, never a secondary abandonment.
+        poison_all();
       }
     });
   }

@@ -24,8 +24,10 @@
 // iso-energy-efficiency model consumes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -45,6 +47,15 @@
 namespace isoee::sim {
 
 class Engine;
+
+/// Thrown out of a blocking receive when a *peer* rank died: the first rank
+/// to throw poisons every mailbox, so ranks blocked waiting on it unwind with
+/// this instead of deadlocking forever. Engine::run still rethrows the first
+/// (root-cause) error, never the abandonment itself.
+class RankAbandoned : public std::runtime_error {
+ public:
+  RankAbandoned() : std::runtime_error("rank abandoned: a peer rank failed") {}
+};
 
 /// Outcome of one rank's simulated execution.
 struct RankResult {
@@ -223,6 +234,10 @@ class Engine {
   const MachineSpec& machine() const { return spec_; }
   const Options& options() const { return opts_; }
 
+  /// Process-wide count of Engine::run invocations. Tests use the delta to
+  /// assert that a warm result cache executes zero simulations.
+  static std::uint64_t total_runs_started();
+
  private:
   friend class RankCtx;
 
@@ -236,10 +251,12 @@ class Engine {
     std::mutex mu;
     std::condition_variable cv;
     std::map<std::pair<int, int>, std::deque<Message>> queues;
+    bool poisoned = false;  // a rank died; empty receives throw RankAbandoned
   };
 
   void deliver(int dst, int src, int tag, Message msg);
   Message take(int dst, int src, int tag);
+  void poison_all();
 
   MachineSpec spec_;
   Options opts_;

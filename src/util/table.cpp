@@ -1,5 +1,9 @@
 #include "util/table.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -67,16 +71,46 @@ std::string Table::to_csv() const {
 }
 
 bool Table::write_csv(const std::string& path) const {
+  namespace fs = std::filesystem;
   std::error_code ec;
-  const auto parent = std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  std::ofstream out(path);
-  if (!out) {
-    ISOEE_WARN("failed to open %s for writing", path.c_str());
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    fs::create_directories(parent, ec);
+    if (ec && !fs::is_directory(parent)) {
+      ISOEE_WARN("failed to create directory %s (%s)", parent.string().c_str(),
+                 ec.message().c_str());
+      return false;
+    }
+  }
+  // Write to a per-writer temp file and atomically rename: a reader (or a
+  // concurrently re-emitting case) never observes a torn CSV, and a failed
+  // write never clobbers a previous good one.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) {
+      ISOEE_WARN("failed to open %s for writing", tmp.c_str());
+      return false;
+    }
+    out << to_csv();
+    out.flush();
+    if (!out) {
+      ISOEE_WARN("short write to %s", tmp.c_str());
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ISOEE_WARN("failed to rename %s -> %s (%s)", tmp.c_str(), path.c_str(),
+               ec.message().c_str());
+    fs::remove(tmp, ec);
     return false;
   }
-  out << to_csv();
-  return static_cast<bool>(out);
+  return true;
 }
 
 std::string num(double value, int digits) {

@@ -171,6 +171,62 @@ TEST(Engine, RankBodyExceptionPropagates) {
                std::runtime_error);
 }
 
+// Regression: a throwing rank used to leave its peers blocked in recv forever
+// (the join below never returned). Now the engine poisons every mailbox on
+// the first error, blocked ranks unwind with RankAbandoned, and run() rethrows
+// the root cause.
+TEST(Engine, ThrowingRankDoesNotDeadlockBlockedPeers) {
+  Engine eng(tiny_machine());
+  try {
+    eng.run(4, [](RankCtx& ctx) {
+      if (ctx.rank() == 1) throw std::runtime_error("rank 1 exploded");
+      // Everyone else waits on a message rank 1 will never send.
+      std::vector<double> buf(8);
+      ctx.recv(1, 7, std::span<double>(buf));
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const sim::RankAbandoned&) {
+    FAIL() << "run() rethrew the abandonment instead of the root cause";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 exploded");
+  }
+}
+
+TEST(Engine, PoisonedMailboxStillDeliversArrivedMessages) {
+  Engine eng(tiny_machine());
+  std::atomic<int> delivered{0};
+  try {
+    eng.run(3, [&](RankCtx& ctx) {
+      std::vector<double> buf(4, static_cast<double>(ctx.rank()));
+      if (ctx.rank() == 0) {
+        // Send first, then die: rank 1's first recv must still succeed.
+        ctx.send(1, 0, std::span<const double>(buf));
+        throw std::runtime_error("sender died after send");
+      }
+      if (ctx.rank() == 1) {
+        ctx.recv(0, 0, std::span<double>(buf));  // message already en route
+        delivered.fetch_add(1);
+        ctx.recv(0, 1, std::span<double>(buf));  // never sent -> abandoned
+      }
+      if (ctx.rank() == 2) {
+        ctx.recv(0, 0, std::span<double>(buf));  // never sent -> abandoned
+      }
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sender died after send");
+  }
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(Engine, TotalRunsStartedCountsEveryRun) {
+  Engine eng(tiny_machine());
+  const std::uint64_t before = Engine::total_runs_started();
+  eng.run(2, [](RankCtx& ctx) { ctx.compute(10); });
+  eng.run(1, [](RankCtx& ctx) { ctx.compute(10); });
+  EXPECT_EQ(Engine::total_runs_started(), before + 2);
+}
+
 // --- messaging ---------------------------------------------------------------
 
 TEST(Engine, PingTransferTimeFollowsHockney) {
