@@ -17,6 +17,13 @@
 //                    every value by the executor's determinism contract
 //   --cache-dir=DIR  content-addressed result cache; a warm rerun replays
 //                    cached results and executes zero simulations
+//   --trace-out=F    install a process-global obs collector and write the
+//                    run's Chrome trace (virtual time) to F at exit
+//   --metrics-out=F  write the obs metrics snapshot to F at exit (.json or
+//                    .csv, chosen by extension)
+//
+// The log level honours the ISOEE_LOG environment variable ("trace" ...
+// "off"); bench::init applies it before any subsystem can log.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +34,10 @@
 
 #include "analysis/surface.hpp"
 #include "exec/executor.hpp"
+#include "obs/obs.hpp"
 #include "sim/machine.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace isoee::bench {
@@ -50,6 +59,44 @@ inline exec::ExecConfig& exec_cfg() {
   static exec::ExecConfig cfg;
   return cfg;
 }
+inline obs::TraceCollector& trace_collector() {
+  static obs::TraceCollector collector;
+  return collector;
+}
+inline std::string& trace_out() {
+  static std::string path;
+  return path;
+}
+inline std::string& metrics_out() {
+  static std::string path;
+  return path;
+}
+
+/// atexit hook: flush the --trace-out / --metrics-out artifacts once the
+/// bench main returns (covers std::exit paths in emit() too).
+inline void write_observability_artifacts() {
+  if (!trace_out().empty()) {
+    obs::set_global_sink(nullptr);
+    const auto events = trace_collector().sorted();
+    if (obs::ChromeTraceWriter::write(events, trace_out(),
+                                      {{"source", "isoee-bench"}})) {
+      std::printf("[trace] %s (%zu events)\n", trace_out().c_str(), events.size());
+    } else {
+      ISOEE_ERROR("failed to write --trace-out %s", trace_out().c_str());
+    }
+  }
+  if (!metrics_out().empty()) {
+    const std::string& path = metrics_out();
+    const bool is_json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+    const bool ok = is_json ? obs::metrics().write_json(path)
+                            : obs::metrics().write_csv(path);
+    if (ok) {
+      std::printf("[metrics] %s\n", path.c_str());
+    } else {
+      ISOEE_ERROR("failed to write --metrics-out %s", path.c_str());
+    }
+  }
+}
 }  // namespace detail
 
 /// Parses the shared bench flags. Returns false (after printing usage) on
@@ -57,11 +104,17 @@ inline exec::ExecConfig& exec_cfg() {
 /// are created once, here, so a bad --csv-dir fails before any simulation
 /// time is spent rather than after.
 inline bool init(int argc, const char* const* argv) {
+  if (const char* level = std::getenv("ISOEE_LOG"); level != nullptr && *level != '\0') {
+    util::set_log_level(util::parse_log_level(level));
+  }
+
   util::Cli cli("experiment harness (shared flags; figures print to stdout + CSV)");
   cli.flag("csv-dir", detail::csv_dir(), "directory for CSV output")
       .flag("seed", "", "noise-seed override (empty = machine preset default)")
       .flag("jobs", "1", "host-thread budget (1 = serial, 0 = all cores)")
-      .flag("cache-dir", "", "result-cache directory (empty = caching off)");
+      .flag("cache-dir", "", "result-cache directory (empty = caching off)")
+      .flag("trace-out", "", "write a Chrome trace of the run to this file")
+      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file");
   if (!cli.parse(argc, argv)) return false;
   detail::csv_dir() = cli.get("csv-dir");
   const std::string seed = cli.get("seed");
@@ -71,12 +124,20 @@ inline bool init(int argc, const char* const* argv) {
   }
   detail::exec_cfg().jobs = static_cast<int>(cli.get_int("jobs"));
   detail::exec_cfg().cache_dir = cli.get("cache-dir");
+  detail::trace_out() = cli.get("trace-out");
+  detail::metrics_out() = cli.get("metrics-out");
+  if (!detail::trace_out().empty()) {
+    obs::set_global_sink(&detail::trace_collector());
+  }
+  if (!detail::trace_out().empty() || !detail::metrics_out().empty()) {
+    std::atexit(detail::write_observability_artifacts);
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(detail::csv_dir(), ec);
   if (ec && !std::filesystem::is_directory(detail::csv_dir())) {
-    std::fprintf(stderr, "error: cannot create --csv-dir %s (%s)\n",
-                 detail::csv_dir().c_str(), ec.message().c_str());
+    ISOEE_ERROR("cannot create --csv-dir %s (%s)", detail::csv_dir().c_str(),
+                ec.message().c_str());
     return false;
   }
   return true;
@@ -101,7 +162,7 @@ inline void emit(const util::Table& table, const std::string& name) {
   std::fputs(table.to_string().c_str(), stdout);
   const std::string path = std::string(out_dir()) + "/" + name + ".csv";
   if (!table.write_csv(path)) {
-    std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+    ISOEE_ERROR("failed to write %s", path.c_str());
     std::exit(1);
   }
   std::printf("[csv] %s\n", path.c_str());

@@ -6,6 +6,7 @@
 #include "analysis/runner.hpp"
 #include "bench/common.hpp"
 #include "npb/classes.hpp"
+#include "obs/obs.hpp"
 #include "powerpack/phases.hpp"
 #include "powerpack/profiler.hpp"
 
@@ -18,12 +19,26 @@ int main(int argc, char** argv) {
                  "per-component power fluctuates above the idle floor per phase");
 
   powerpack::PhaseLog phases;
+  obs::TraceCollector trace;
   analysis::RunOptions options;
   options.record_trace = true;
   options.phases = &phases;
+  options.trace = &trace;
   const auto config = npb::ft_class(npb::ProblemClass::A);
   const int p = 4;
   const auto run = analysis::run_ft(machine, config, p, options);
+
+  // The run's full event stream (segments, collectives, phases, message
+  // flows) as a Chrome trace on virtual time — open in Perfetto, or feed to
+  // `trace_stats` for per-phase / per-collective energy attribution.
+  const std::string trace_path = std::string(bench::out_dir()) + "/fig10_trace.json";
+  if (obs::ChromeTraceWriter::write(trace.sorted(), trace_path,
+                                    {{"figure", "fig10"},
+                                     {"kernel", "ft"},
+                                     {"class", "A"},
+                                     {"machine", machine.name}})) {
+    std::printf("[trace] %s (%zu events)\n", trace_path.c_str(), trace.size());
+  }
 
   powerpack::Profiler profiler(machine);
   powerpack::SampleOptions sopts;

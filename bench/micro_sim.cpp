@@ -2,11 +2,24 @@
 // how fast the virtual-time engine executes primitive operations, message
 // passing, and collectives — the cost of the simulation, not of the
 // simulated machine.
+//
+// Extra mode: `micro_sim --check-obs-overhead [--tolerance=0.02]` asserts the
+// obs layer's contract that an *uninstalled* trace sink costs nothing beyond
+// one pointer check per primitive: the same workload is timed (min of N)
+// before and after a full sink install/trace/uninstall cycle, and the run
+// fails if the sink-disabled runtime regressed by more than the tolerance.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "smpi/comm.hpp"
 
@@ -101,6 +114,102 @@ void BM_AlltoallPairwise(benchmark::State& state) {
 }
 BENCHMARK(BM_AlltoallPairwise)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.05);
 
+// Same engine workload with a live TraceCollector attached — the *enabled*
+// tracing cost, for comparison against BM_EngineComputeOps.
+void BM_EngineComputeOpsTraced(benchmark::State& state) {
+  const auto spec = machine();
+  const auto ops = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    obs::TraceCollector collector;
+    sim::EngineOptions opts;
+    opts.trace_sink = &collector;
+    sim::Engine engine(spec, opts);
+    auto res = engine.run(1, [ops](sim::RankCtx& ctx) {
+      for (std::uint64_t i = 0; i < ops; ++i) ctx.compute(1000);
+    });
+    benchmark::DoNotOptimize(res.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EngineComputeOpsTraced)->Arg(1000)->Arg(10000)->MinTime(0.05);
+
+// --- --check-obs-overhead ---------------------------------------------------
+
+/// The timed workload: segment-rate primitives plus messaging, i.e. every
+/// instrumentation point the engine owns.
+double workload_seconds(const sim::MachineSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::Engine engine(spec);
+  engine.run(2, [](sim::RankCtx& ctx) {
+    std::vector<std::byte> buf(256);
+    for (int i = 0; i < 2000; ++i) {
+      ctx.compute(1000);
+      ctx.memory(100);
+      if (ctx.rank() == 0) {
+        ctx.send_bytes(1, 0, buf);
+        (void)ctx.recv_bytes(1, 1);
+      } else {
+        auto ping = ctx.recv_bytes(0, 0);
+        ctx.send_bytes(0, 1, ping);
+      }
+    }
+  });
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+double min_of(int n, const sim::MachineSpec& spec) {
+  double best = 1e9;
+  for (int i = 0; i < n; ++i) best = std::min(best, workload_seconds(spec));
+  return best;
+}
+
+int check_obs_overhead(double tolerance) {
+  const auto spec = machine();
+  constexpr int kRepetitions = 15;
+
+  min_of(3, spec);  // warm up allocators, code, and metric statics
+  const double before_s = min_of(kRepetitions, spec);
+
+  // Full tracing cycle: install a global sink, trace a run, uninstall.
+  {
+    obs::TraceCollector collector;
+    obs::set_global_sink(&collector);
+    workload_seconds(spec);
+    obs::set_global_sink(nullptr);
+    std::printf("traced cycle: %zu events collected\n", collector.size());
+  }
+
+  const double after_s = min_of(kRepetitions, spec);
+  const double regression = after_s / before_s - 1.0;
+  std::printf("sink-disabled workload: before %.6f s, after %.6f s, "
+              "regression %+.2f%% (tolerance %.2f%%)\n",
+              before_s, after_s, regression * 100.0, tolerance * 100.0);
+  if (regression > tolerance) {
+    std::fprintf(stderr, "FAIL: disabled-sink runtime regressed beyond tolerance\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool check_overhead = false;
+  double tolerance = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--check-obs-overhead") check_overhead = true;
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::strtod(std::string(arg.substr(12)).c_str(), nullptr);
+    }
+  }
+  if (check_overhead) return check_obs_overhead(tolerance);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@ sim::EngineOptions engine_options(const RunOptions& options) {
   sim::EngineOptions opts;
   opts.record_trace = options.record_trace;
   opts.initial_ghz = options.f_ghz;
+  opts.trace_sink = options.trace;
   if (options.governor != nullptr) opts.on_segment = options.governor->engine_hook();
   return opts;
 }

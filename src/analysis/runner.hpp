@@ -28,6 +28,12 @@ struct RunOptions {
   /// vary only the communication stack.
   const smpi::CollectiveConfig* collectives = nullptr;
 
+  /// Per-run trace sink (src/obs): forwarded to EngineOptions::trace_sink, so
+  /// one run's spans/flows/instants land in a caller-owned collector even when
+  /// many runs execute concurrently (the --jobs determinism tests rely on
+  /// this). Null defers to the process-global sink.
+  obs::TraceSink* trace = nullptr;
+
   /// Opt-in closed-loop DVFS: when set, the runner attaches the governor to
   /// the engine's streaming-sample hook and to the kernel's phase markers
   /// (allocating an internal PhaseLog if `phases` is null), and calls

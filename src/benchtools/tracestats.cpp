@@ -1,0 +1,480 @@
+#include "benchtools/tracestats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "powerpack/profiler.hpp"
+
+namespace isoee::benchtools {
+
+// --- minimal JSON --------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The exporter only escapes control characters; encode the BMP code
+          // point as UTF-8 (surrogate pairs are not produced by our writer).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e' ||
+          c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number '" + token + "'");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse_document(); }
+
+// --- trace loading ---------------------------------------------------------
+
+double ParsedEvent::arg_num(std::string_view key, double fallback) const {
+  const JsonValue* v = args.find(key);
+  return v != nullptr && v->is(JsonValue::Type::kNumber) ? v->number : fallback;
+}
+
+std::string ParsedEvent::arg_str(std::string_view key, std::string fallback) const {
+  const JsonValue* v = args.find(key);
+  return v != nullptr && v->is(JsonValue::Type::kString) ? v->str : fallback;
+}
+
+int LoadedTrace::nranks() const {
+  int max_tid = -1;
+  for (const auto& e : events) max_tid = std::max(max_tid, e.tid);
+  return max_tid + 1;
+}
+
+double LoadedTrace::makespan_s() const {
+  double end = 0.0;
+  for (const auto& e : events) end = std::max(end, (e.ts_us + e.dur_us) * 1e-6);
+  return end;
+}
+
+LoadedTrace parse_trace(std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  if (!doc.is(JsonValue::Type::kObject)) throw std::runtime_error("trace: not an object");
+  LoadedTrace out;
+  if (const JsonValue* other = doc.find("otherData");
+      other != nullptr && other->is(JsonValue::Type::kObject)) {
+    for (const auto& [k, v] : other->object) {
+      if (v.is(JsonValue::Type::kString)) out.metadata[k] = v.str;
+    }
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is(JsonValue::Type::kArray)) {
+    throw std::runtime_error("trace: missing traceEvents array");
+  }
+  out.events.reserve(events->array.size());
+  for (const JsonValue& ev : events->array) {
+    if (!ev.is(JsonValue::Type::kObject)) {
+      throw std::runtime_error("trace: non-object event");
+    }
+    ParsedEvent e;
+    if (const JsonValue* v = ev.find("ph"); v && v->is(JsonValue::Type::kString)) {
+      e.ph = v->str;
+    }
+    if (e.ph == "M") continue;  // metadata rows carry no timeline payload
+    if (const JsonValue* v = ev.find("name"); v && v->is(JsonValue::Type::kString)) {
+      e.name = v->str;
+    }
+    if (const JsonValue* v = ev.find("cat"); v && v->is(JsonValue::Type::kString)) {
+      e.cat = v->str;
+    }
+    if (const JsonValue* v = ev.find("tid"); v && v->is(JsonValue::Type::kNumber)) {
+      e.tid = static_cast<int>(v->number);
+    }
+    if (const JsonValue* v = ev.find("ts"); v && v->is(JsonValue::Type::kNumber)) {
+      e.ts_us = v->number;
+    }
+    if (const JsonValue* v = ev.find("dur"); v && v->is(JsonValue::Type::kNumber)) {
+      e.dur_us = v->number;
+    }
+    if (const JsonValue* v = ev.find("id"); v && v->is(JsonValue::Type::kNumber)) {
+      e.flow_id = static_cast<std::uint64_t>(v->number);
+    }
+    if (const JsonValue* v = ev.find("args"); v && v->is(JsonValue::Type::kObject)) {
+      e.args = *v;
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+LoadedTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read error on trace file: " + path);
+  try {
+    return parse_trace(body.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<std::string> validate_trace(const LoadedTrace& trace) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::size_t i, const std::string& what) {
+    if (problems.size() < 32) {
+      problems.push_back("event " + std::to_string(i) + ": " + what);
+    }
+  };
+  std::set<std::uint64_t> flow_begins;
+  std::set<std::uint64_t> flow_ends;
+  double last_ts = -1.0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const ParsedEvent& e = trace.events[i];
+    if (e.ph != "X" && e.ph != "i" && e.ph != "s" && e.ph != "f") {
+      complain(i, "unknown ph '" + e.ph + "'");
+      continue;
+    }
+    if (e.name.empty()) complain(i, "missing name");
+    if (e.cat.empty()) complain(i, "missing cat");
+    if (!std::isfinite(e.ts_us) || e.ts_us < 0.0) complain(i, "bad ts");
+    if (e.ph == "X" && (!std::isfinite(e.dur_us) || e.dur_us < 0.0)) {
+      complain(i, "bad dur");
+    }
+    if (e.ph == "s") {
+      if (!flow_begins.insert(e.flow_id).second) complain(i, "duplicate flow begin id");
+    }
+    if (e.ph == "f") {
+      if (!flow_ends.insert(e.flow_id).second) complain(i, "duplicate flow end id");
+    }
+    if (e.ts_us < last_ts) complain(i, "events not sorted by ts");
+    last_ts = e.ts_us;
+  }
+  for (std::uint64_t id : flow_begins) {
+    if (flow_ends.count(id) == 0 && problems.size() < 32) {
+      problems.push_back("flow " + std::to_string(id) + " begins but never ends");
+    }
+  }
+  for (std::uint64_t id : flow_ends) {
+    if (flow_begins.count(id) == 0 && problems.size() < 32) {
+      problems.push_back("flow " + std::to_string(id) + " ends but never begins");
+    }
+  }
+  return problems;
+}
+
+namespace {
+
+sim::Activity activity_from_name(const std::string& name) {
+  if (name == "compute") return sim::Activity::kCompute;
+  if (name == "memory") return sim::Activity::kMemory;
+  if (name == "network") return sim::Activity::kNetwork;
+  if (name == "io") return sim::Activity::kIo;
+  if (name == "idle") return sim::Activity::kIdle;
+  throw std::runtime_error("trace: unknown activity span '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<std::vector<sim::Segment>> segments_of(const LoadedTrace& trace) {
+  std::vector<std::vector<sim::Segment>> out(
+      static_cast<std::size_t>(std::max(trace.nranks(), 0)));
+  for (const auto& e : trace.events) {
+    if (e.ph != "X" || e.cat != "sim") continue;
+    sim::Segment seg;
+    seg.start = e.t0_s();
+    seg.duration = e.dur_s();
+    seg.activity = activity_from_name(e.name);
+    seg.ghz = e.arg_num("ghz");
+    out[static_cast<std::size_t>(e.tid)].push_back(seg);
+  }
+  // The collector sorts globally by (t0, rank, ...), so each rank's segments
+  // arrive time-ordered already; sort defensively for hand-built files.
+  for (auto& rank : out) {
+    std::stable_sort(rank.begin(), rank.end(),
+                     [](const sim::Segment& a, const sim::Segment& b) {
+                       return a.start < b.start;
+                     });
+  }
+  return out;
+}
+
+std::vector<AttributionRow> attribute_category(const LoadedTrace& trace,
+                                               const sim::MachineSpec& machine,
+                                               std::string_view cat) {
+  const auto segments = segments_of(trace);
+  const powerpack::Profiler profiler(machine);
+  std::map<std::string, AttributionRow> rows;
+  for (const auto& e : trace.events) {
+    if (e.ph != "X" || e.cat != cat) continue;
+    AttributionRow& row = rows[e.name];
+    row.name = e.name;
+    row.count += 1;
+    row.time_s += e.dur_s();
+    const auto r = static_cast<std::size_t>(e.tid);
+    if (r < segments.size()) {
+      row.energy_j += profiler.energy_between_j(segments[r], e.t0_s(), e.t1_s());
+    }
+  }
+  std::vector<AttributionRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  return out;  // map iteration: sorted by name, deterministic
+}
+
+TraceReport analyze(const LoadedTrace& trace, const sim::MachineSpec& machine) {
+  TraceReport report;
+  report.nranks = trace.nranks();
+  report.events = trace.events.size();
+  report.makespan_s = trace.makespan_s();
+  report.activities = attribute_category(trace, machine, "sim");
+  report.collectives = attribute_category(trace, machine, "smpi");
+  report.phases = attribute_category(trace, machine, "phase");
+  for (const auto& row : report.activities) report.total_energy_j += row.energy_j;
+  for (const auto& e : trace.events) {
+    if (e.ph == "i" && e.cat == "governor") {
+      ++report.governor_decisions;
+      if (e.name == "actuate") ++report.governor_actuations;
+    }
+    if (e.ph == "i" && e.cat == "sim" && e.name == "dvfs") ++report.dvfs_changes;
+    if (e.ph == "s") ++report.messages;
+  }
+  return report;
+}
+
+std::vector<DiffRow> diff_rows(std::span<const AttributionRow> a,
+                               std::span<const AttributionRow> b) {
+  std::map<std::string, DiffRow> rows;
+  for (const auto& row : a) {
+    DiffRow& d = rows[row.name];
+    d.name = row.name;
+    d.count_a = row.count;
+    d.time_a = row.time_s;
+    d.energy_a = row.energy_j;
+  }
+  for (const auto& row : b) {
+    DiffRow& d = rows[row.name];
+    d.name = row.name;
+    d.count_b = row.count;
+    d.time_b = row.time_s;
+    d.energy_b = row.energy_j;
+  }
+  std::vector<DiffRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+sim::MachineSpec machine_for_trace(const std::string& name, const LoadedTrace& trace) {
+  std::string resolved = name;
+  if (resolved == "auto" || resolved.empty()) {
+    const auto it = trace.metadata.find("machine");
+    resolved = it != trace.metadata.end() ? it->second : "system_g";
+  }
+  if (resolved == "system_g" || resolved == "SystemG") return sim::system_g();
+  if (resolved == "dori" || resolved == "Dori") return sim::dori();
+  throw std::invalid_argument("unknown machine '" + resolved +
+                              "' (expected system_g, dori, or auto)");
+}
+
+}  // namespace isoee::benchtools

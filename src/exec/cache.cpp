@@ -7,12 +7,30 @@
 #include <sstream>
 
 #include "exec/codec.hpp"
+#include "obs/metrics.hpp"
 #include "sim/machine.hpp"
 #include "util/log.hpp"
 
 namespace isoee::exec {
 
 namespace fs = std::filesystem;
+
+namespace {
+// Process-wide cache traffic (the per-instance hits()/misses()/stores()
+// accessors remain the per-cache view used by the tests).
+obs::Counter& cache_hit_metric() {
+  static obs::Counter& c = obs::metrics().counter("exec.result_cache_hits");
+  return c;
+}
+obs::Counter& cache_miss_metric() {
+  static obs::Counter& c = obs::metrics().counter("exec.result_cache_misses");
+  return c;
+}
+obs::Counter& cache_store_metric() {
+  static obs::Counter& c = obs::metrics().counter("exec.result_cache_stores");
+  return c;
+}
+}  // namespace
 
 std::string machine_fingerprint(const sim::MachineSpec& m) {
   std::ostringstream os;
@@ -74,20 +92,24 @@ std::optional<std::string> ResultCache::load(const std::string& key) const {
   std::ifstream in(entry_path(key), std::ios::binary);
   if (!in) {
     ++misses_;
+    cache_miss_metric().inc();
     return std::nullopt;
   }
   std::string stored_key;
   if (!std::getline(in, stored_key) || stored_key != std::string(kCacheSalt) + "\x1f" + key) {
     ++misses_;  // corrupt entry or hash collision: treat as absent
+    cache_miss_metric().inc();
     return std::nullopt;
   }
   std::ostringstream payload;
   payload << in.rdbuf();
   if (in.bad()) {
     ++misses_;
+    cache_miss_metric().inc();
     return std::nullopt;
   }
   ++hits_;
+  cache_hit_metric().inc();
   return payload.str();
 }
 
@@ -129,6 +151,7 @@ bool ResultCache::store(const std::string& key, const std::string& payload) cons
     return false;
   }
   ++stores_;
+  cache_store_metric().inc();
   return true;
 }
 

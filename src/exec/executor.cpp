@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace isoee::exec {
 
 namespace {
@@ -44,6 +46,19 @@ void run_body(const Case& c, const BatchOptions& opts, CaseResult& r) {
     return;
   }
   if (opts.cache && !c.cache_key.empty()) opts.cache->store(c.cache_key, r.payload);
+}
+
+/// Folds one batch's stats into the process metrics registry (totals across
+/// all run_batch calls; BatchOptions::stats still reports the per-batch view).
+void absorb_stats(const BatchStats& stats) {
+  static obs::Counter& started = obs::metrics().counter("exec.cases_started");
+  static obs::Counter& hits = obs::metrics().counter("exec.cache_hits");
+  static obs::Counter& skipped = obs::metrics().counter("exec.cases_skipped");
+  static obs::Gauge& peak = obs::metrics().gauge("exec.max_threads_in_use");
+  started.inc(stats.started);
+  hits.inc(stats.cache_hits);
+  skipped.inc(stats.skipped);
+  peak.set_max(static_cast<double>(stats.max_threads_in_use));
 }
 
 }  // namespace
@@ -85,6 +100,7 @@ std::vector<CaseResult> run_batch(const std::vector<Case>& cases, const BatchOpt
       }
       if (opts.fail_fast && failed(r, opts)) cancelled = true;
     }
+    absorb_stats(stats);
     return results;
   }
 
@@ -145,6 +161,7 @@ std::vector<CaseResult> run_batch(const std::vector<Case>& cases, const BatchOpt
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  absorb_stats(stats);
   return results;
 }
 

@@ -4,6 +4,9 @@
 #include <array>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+#include "util/log.hpp"
+
 namespace isoee::governor {
 
 PhaseKind classify_phase(std::string_view name) {
@@ -111,6 +114,29 @@ void Governor::decide(sim::RankCtx& ctx, RankState& st, double t, bool forced) {
   if (d.f_ghz > 0.0 && d.f_ghz != before) after = ctx.set_frequency(d.f_ghz);
   const bool changed = after != before;
   if (changed) ++st.actuations;
+
+  if (changed) {
+    ISOEE_TRACE("governor: rank %d t=%.6f %s gear %.2f -> %.2f (%s)", obs.rank, t,
+                obs.phase == PhaseKind::kCommunication ? "comm" : "compute", before,
+                after, d.reason);
+  }
+  // The local Observation above shadows the obs namespace, hence the
+  // fully-qualified emission. Instants only for actuations and forced
+  // (phase-boundary) decisions — hold decisions would swamp the trace.
+  if (::isoee::obs::TraceSink* sink = ctx.trace_sink(); sink != nullptr &&
+                                                        (changed || forced)) {
+    ::isoee::obs::emit_instant(
+        *sink, obs.rank, "governor", changed ? "actuate" : "decision", t,
+        {::isoee::obs::arg_str(
+             "phase", obs.phase == PhaseKind::kCommunication ? "comm" : "compute"),
+         ::isoee::obs::arg_num("gear_before", before),
+         ::isoee::obs::arg_num("gear_after", after),
+         ::isoee::obs::arg_num("rank_w", obs.rank_w),
+         ::isoee::obs::arg_num("cluster_w", obs.cluster_w),
+         ::isoee::obs::arg_num("cap_w", obs.cap_w),
+         ::isoee::obs::arg_str("policy", st.policy->name()),
+         ::isoee::obs::arg_str("reason", d.reason)});
+  }
 
   if (!spec_.trace) return;
   if (!changed && !forced && !spec_.trace_holds) return;

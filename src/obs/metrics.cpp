@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace isoee::obs {
+
+namespace {
+
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_time_buckets_s() {
+  static const std::array<double, 9> b = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                          1e-1, 1.0,  10.0, 100.0};
+  return b;
+}
+
+std::span<const double> default_size_buckets() {
+  static const std::array<double, 8> b = {64.0,      1024.0,     16384.0,   262144.0,
+                                          4194304.0, 67108864.0, 1073741824.0,
+                                          17179869184.0};
+  return b;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::vector<double>(bounds.begin(), bounds.end()));
+  } else if (!bounds.empty() && bounds.size() != slot->bounds().size()) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different bucket bounds");
+  }
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", fmt_double(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      out.push_back({name + "_le_" + fmt_double(h->bounds()[i]), "histogram",
+                     std::to_string(cum)});
+    }
+    cum += h->bucket_count(h->bounds().size());
+    out.push_back({name + "_le_inf", "histogram", std::to_string(cum)});
+    out.push_back({name + "_sum", "histogram", fmt_double(h->sum())});
+    out.push_back({name + "_count", "histogram", std::to_string(h->count())});
+  }
+  std::sort(out.begin(), out.end(), [](const MetricSample& a, const MetricSample& b) {
+    return std::tie(a.name, a.kind) < std::tie(b.name, b.kind);
+  });
+  return out;
+}
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  util::Table table({"name", "kind", "value"});
+  for (const auto& s : snapshot()) table.add_row({s.name, s.kind, s.value});
+  return table.write_csv(path);
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::string body = "{\n";
+  const auto snap = snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    body += "  \"" + json_escape(snap[i].name) + "\": {\"kind\": \"" + snap[i].kind +
+            "\", \"value\": " + snap[i].value + "}";
+    if (i + 1 < snap.size()) body += ',';
+    body += '\n';
+  }
+  body += "}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    ISOEE_ERROR("MetricsRegistry: cannot open %s", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (!ok) ISOEE_ERROR("MetricsRegistry: short write to %s", path.c_str());
+  return ok;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace isoee::obs

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "powerpack/profiler.hpp"
 #include "sim/engine.hpp"
 
@@ -72,6 +73,9 @@ class ScopedPhase {
   }
   ~ScopedPhase() {
     log_->notify(*ctx_, name_, /*begin=*/false);
+    if (obs::TraceSink* sink = ctx_->trace_sink()) {
+      obs::emit_span(*sink, ctx_->rank(), "phase", name_, t0_, ctx_->now() - t0_);
+    }
     log_->record(ctx_->rank(), std::move(name_), t0_, ctx_->now());
   }
 

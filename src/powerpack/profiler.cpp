@@ -1,8 +1,10 @@
 #include "powerpack/profiler.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -86,7 +88,20 @@ PowerSample Profiler::power_at(std::span<const sim::Segment> trace, double t) co
   if (t < seg.start + seg.duration) {
     s = segment_power_impl(spec_.power, spec_.cpu.base_ghz, seg);
   } else {
-    s = idle_power(spec_.power);  // gap (should not happen with contiguous traces)
+    // Engine-recorded traces are contiguous by construction, so a sample
+    // falling in a hole means the caller handed us a doctored or truncated
+    // trace. Loudly assert in debug builds; in release builds warn once and
+    // attribute idle power to the gap (the documented fallback).
+    assert(!"Profiler::power_at: gap between trace segments");
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      ISOEE_WARN(
+          "power_at: t=%.9f falls in a gap between trace segments; "
+          "attributing idle power (trace is not contiguous)",
+          t);
+    }
+    s = idle_power(spec_.power);
   }
   s.t = t;
   return s;
@@ -158,12 +173,21 @@ double Profiler::integrate_j(std::span<const PowerSample> samples, double interv
 
 double Profiler::energy_between_j(std::span<const sim::Segment> trace, double t0,
                                   double t1) const {
+  // Rank timelines are time-sorted with non-decreasing end times (the engine
+  // records them contiguously), so the segments overlapping [t0, t1) form one
+  // contiguous range: binary-search its start and stop at the first segment
+  // past t1. Callers like trace_stats invoke this once per span, which made
+  // the full-timeline scan quadratic on large traces. Skipped segments would
+  // have contributed exactly 0.0, so the sum is bit-identical to the scan.
+  const auto first = std::partition_point(
+      trace.begin(), trace.end(),
+      [t0](const sim::Segment& s) { return s.start + s.duration <= t0; });
   double e = 0.0;
-  for (const auto& seg : trace) {
-    const double lo = std::max(t0, seg.start);
-    const double hi = std::min(t1, seg.start + seg.duration);
+  for (auto it = first; it != trace.end() && it->start < t1; ++it) {
+    const double lo = std::max(t0, it->start);
+    const double hi = std::min(t1, it->start + it->duration);
     if (hi <= lo) continue;
-    const PowerSample p = segment_power_impl(spec_.power, spec_.cpu.base_ghz, seg);
+    const PowerSample p = segment_power_impl(spec_.power, spec_.cpu.base_ghz, *it);
     e += p.total_w() * (hi - lo);
   }
   return e;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace isoee::sim {
@@ -36,6 +37,7 @@ RankCtx::RankCtx(Engine* engine, int rank, int size)
   (void)util::splitmix64(s);
   noise_rng_.reseed(s + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1));
   tracing_ = engine_->options().record_trace;
+  obs_sink_ = opts.trace_sink != nullptr ? opts.trace_sink : obs::global_sink();
   // The perturbation RNG is deliberately separate from the noise RNG: its
   // draws only steer host scheduling, so enabling it cannot change any
   // virtual-time observable.
@@ -94,6 +96,10 @@ void RankCtx::advance(double seconds, Activity activity) {
       break;
   }
   record_segment(seconds, activity);
+  if (obs_sink_ != nullptr) {
+    obs::emit_span(*obs_sink_, rank_, "sim", activity_name(activity), clock_ - seconds,
+                   seconds, {obs::arg_num("ghz", ghz_)});
+  }
   if (engine_->options().on_segment) {
     engine_->options().on_segment(*this, Segment{clock_ - seconds, seconds, activity, ghz_});
   }
@@ -187,6 +193,10 @@ double RankCtx::set_frequency(double ghz) {
     }
   }
   if (chosen != ghz_) {
+    if (obs_sink_ != nullptr) {
+      obs::emit_instant(*obs_sink_, rank_, "sim", "dvfs", clock_,
+                        {obs::arg_num("from_ghz", ghz_), obs::arg_num("to_ghz", chosen)});
+    }
     ghz_ = chosen;
     ++counters_.dvfs_transitions;
   }
@@ -210,7 +220,15 @@ void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
     ts *= j;
     per_byte *= j;
   }
+  const double inject_t0 = clock_;
   advance(ts, Activity::kNetwork);
+  if (obs_sink_ != nullptr) {
+    // Flow start anchored at the injection span's start so Perfetto binds the
+    // arrow to the sender's Network slice.
+    const std::uint64_t seq = flow_seq_out_[{dst, tag}]++;
+    obs::emit_flow(*obs_sink_, /*begin=*/true, rank_, inject_t0,
+                   obs::flow_id(rank_, dst, tag, seq));
+  }
 
   Engine::Message msg;
   msg.arrival = clock_ + static_cast<double>(payload.size()) * per_byte;
@@ -234,6 +252,11 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
   // Completion cannot precede the payload's arrival; the gap is receive wait.
   const double wait = std::max(0.0, msg.arrival - clock_);
   advance(wait, Activity::kNetwork);
+  if (obs_sink_ != nullptr) {
+    const std::uint64_t seq = flow_seq_in_[{src, tag}]++;
+    obs::emit_flow(*obs_sink_, /*begin=*/false, rank_, clock_,
+                   obs::flow_id(src, rank_, tag, seq));
+  }
   counters_.messages_received += 1;
   counters_.bytes_received += msg.payload.size();
   return std::move(msg.payload);
@@ -250,10 +273,29 @@ std::vector<std::byte> RankCtx::wait(RecvHandle& handle) {
 // ---------------------------------------------------------------------------
 
 namespace {
-std::atomic<std::uint64_t> g_runs_started{0};
-}
+// Engine-level metrics, absorbed into the process-wide registry (see
+// src/obs/metrics.hpp). References are resolved once and cached: registry
+// lookups take a mutex, increments are relaxed atomics.
+struct EngineMetrics {
+  obs::Counter& runs_started = obs::metrics().counter("sim.runs_started");
+  obs::Counter& messages_sent = obs::metrics().counter("sim.messages_sent");
+  obs::Counter& bytes_sent = obs::metrics().counter("sim.bytes_sent");
+  obs::Counter& messages_intra_node = obs::metrics().counter("sim.messages_intra_node");
+  obs::Counter& bytes_intra_node = obs::metrics().counter("sim.bytes_intra_node");
+  obs::Counter& dvfs_transitions = obs::metrics().counter("sim.dvfs_transitions");
+  obs::Histogram& run_makespan_s =
+      obs::metrics().histogram("sim.run_makespan_s", obs::default_time_buckets_s());
 
-std::uint64_t Engine::total_runs_started() { return g_runs_started.load(); }
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
+std::uint64_t Engine::total_runs_started() {
+  return EngineMetrics::get().runs_started.value();
+}
 
 Engine::Engine(MachineSpec spec, Options opts) : spec_(std::move(spec)), opts_(opts) {
   if (const std::string err = spec_.validate(); !err.empty()) {
@@ -294,7 +336,7 @@ void Engine::poison_all() {
 }
 
 RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
-  g_runs_started.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::get().runs_started.inc();
   if (nranks <= 0) throw std::invalid_argument("run: nranks must be positive");
   if (nranks > spec_.total_cores()) {
     throw std::invalid_argument("run: nranks exceeds machine cores (" +
@@ -363,6 +405,14 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
     if (opts_.record_trace) result.traces.push_back(std::move(ctx->trace_));
     result.ranks.push_back(std::move(rr));
   }
+
+  EngineMetrics& m = EngineMetrics::get();
+  m.messages_sent.inc(result.counters.messages_sent);
+  m.bytes_sent.inc(result.counters.bytes_sent);
+  m.messages_intra_node.inc(result.counters.messages_intra_node);
+  m.bytes_intra_node.inc(result.counters.bytes_intra_node);
+  m.dvfs_transitions.inc(result.counters.dvfs_transitions);
+  m.run_makespan_s.observe(result.makespan);
   return result;
 }
 

@@ -44,6 +44,10 @@
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
+namespace isoee::obs {
+class TraceSink;
+}
+
 namespace isoee::sim {
 
 class Engine;
@@ -157,6 +161,12 @@ class RankCtx {
   const RankCounters& counters() const { return counters_; }
   const TimeBreakdown& time() const { return time_; }
 
+  /// The trace sink observing this rank (EngineOptions::trace_sink, else the
+  /// process-global sink, else nullptr), resolved once at rank construction.
+  /// Instrumentation layers above the engine (smpi spans, phase markers, the
+  /// governor) emit their events through this.
+  obs::TraceSink* trace_sink() const { return obs_sink_; }
+
  private:
   friend class Engine;
   RankCtx(Engine* engine, int rank, int size);
@@ -177,6 +187,11 @@ class RankCtx {
   bool perturbing_ = false;
   std::vector<Segment> trace_;
   bool tracing_ = false;
+  obs::TraceSink* obs_sink_ = nullptr;
+  // Per-channel message ordinals for flow-event ids (only touched when a
+  // sink is installed). Keys: (peer, tag).
+  std::map<std::pair<int, int>, std::uint64_t> flow_seq_out_;
+  std::map<std::pair<int, int>, std::uint64_t> flow_seq_in_;
 };
 
 /// Host-schedule perturbation (off by default). When enabled, every rank
@@ -217,6 +232,14 @@ struct EngineOptions {
   /// but must not invoke clock-advancing primitives (compute/memory/io/
   /// send/recv) — the rank is mid-primitive when it fires.
   std::function<void(RankCtx&, const Segment&)> on_segment;
+
+  /// Per-engine trace sink (see src/obs): when set, every rank emits segment
+  /// spans, pt2pt flow events, and DVFS instants into it; layers above add
+  /// collective/phase/governor events. Overrides obs::global_sink() for this
+  /// engine. The sink must be thread-safe and outlive the run. Null (the
+  /// default) with no global sink installed keeps the hot path at a single
+  /// pointer check per primitive.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Simulator engine: owns the machine description and runs jobs.

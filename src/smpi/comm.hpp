@@ -34,6 +34,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "smpi/collectives/allgather.hpp"
 #include "smpi/collectives/allreduce.hpp"
@@ -47,6 +48,25 @@
 #include "smpi/registry.hpp"
 
 namespace isoee::smpi {
+
+namespace detail {
+/// Registry-side observability of every collective call (always on; two
+/// relaxed atomic updates). The per-call trace spans are emitted separately
+/// and only when a sink is installed.
+inline void note_collective(std::size_t bytes) {
+  static obs::Counter& calls = obs::metrics().counter("smpi.collective_calls");
+  static obs::Histogram& sizes =
+      obs::metrics().histogram("smpi.collective_bytes", obs::default_size_buckets());
+  calls.inc();
+  sizes.observe(static_cast<double>(bytes));
+}
+
+/// Named now() functor so Comm can spell the SpanScope type it returns.
+struct CtxNow {
+  sim::RankCtx* ctx;
+  double operator()() const { return ctx->now(); }
+};
+}  // namespace detail
 
 struct CollectiveConfig {
   AlltoallAlgo alltoall = AlltoallAlgo::kPairwise;
@@ -71,6 +91,20 @@ class Comm {
  public:
   explicit Comm(sim::RankCtx& ctx, CollectiveConfig config = CollectiveConfig())
       : ctx_(&ctx), config_(std::move(config)) {}
+
+  /// Tag-allocator totals flow into the process metrics registry when the
+  /// communicator retires (src/check still reads the live counters directly).
+  ~Comm() {
+    static obs::Counter& acquired = obs::metrics().counter("smpi.tags_acquired");
+    static obs::Counter& overlaps =
+        obs::metrics().counter("smpi.tag_overlap_violations");
+    static obs::Gauge& max_in_flight = obs::metrics().gauge("smpi.tag_max_in_flight");
+    acquired.inc(tags_.acquired());
+    overlaps.inc(tags_.overlap_violations());
+    max_in_flight.set_max(static_cast<double>(tags_.max_in_flight()));
+  }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
 
   int rank() const { return ctx_->rank(); }
   int size() const { return ctx_->size(); }
@@ -97,6 +131,7 @@ class Comm {
 
   // --- collectives ----------------------------------------------------------
   void barrier() {
+    auto span = collective_span("barrier", 0);
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("barrier");
     collectives::barrier(*ctx_, tags);
@@ -104,14 +139,19 @@ class Comm {
 
   template <typename T>
   void bcast(std::span<T> buf, int root) {
+    const BcastAlgo algo = bcast_algo(buf.size_bytes());
+    auto span = collective_span("bcast", buf.size_bytes());
+    span.arg_str("algo", algorithm_name(Family::kBcast, static_cast<int>(algo)));
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("bcast");
-    collectives::bcast(*ctx_, bcast_algo(buf.size_bytes()), buf, root, tags);
+    collectives::bcast(*ctx_, algo, buf, root, tags);
   }
 
   /// Element-wise reduction to `root`; `op` combines (accumulator, incoming).
   template <typename T, typename Op>
   void reduce(std::span<const T> in, std::span<T> out, int root, Op op) {
+    auto span = collective_span("reduce", in.size_bytes());
+    span.arg_str("algo", "binomial");
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("reduce");
     collectives::reduce_binomial(*ctx_, in, out, root, op, tags);
@@ -121,11 +161,14 @@ class Comm {
   void allreduce(std::span<const T> in, std::span<T> out, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(in.size() == out.size(), "allreduce: size mismatch");
+    const AllreduceAlgo algo = allreduce_algo(in.size_bytes());
+    auto span = collective_span("allreduce", in.size_bytes());
+    span.arg_str("algo", algorithm_name(Family::kAllreduce, static_cast<int>(algo)));
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     std::copy(in.begin(), in.end(), out.begin());
     if (size() == 1) return;
 
-    switch (allreduce_algo(in.size_bytes())) {
+    switch (algo) {
       case AllreduceAlgo::kReduceBcast:
         reduce(in, out, /*root=*/0, op);
         bcast(out, /*root=*/0);
@@ -163,7 +206,10 @@ class Comm {
   template <typename T>
   void allgather(std::span<const T> in, std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
-    switch (allgather_algo(in.size_bytes())) {
+    const AllgatherAlgo algo = allgather_algo(in.size_bytes());
+    auto span = collective_span("allgather", in.size_bytes());
+    span.arg_str("algo", algorithm_name(Family::kAllgather, static_cast<int>(algo)));
+    switch (algo) {
       case AllgatherAlgo::kRing: {
         GearScope gear(*ctx_, config_.comm_gear_ghz);
         const TagBlock tags = tags_.acquire("allgather");
@@ -185,6 +231,8 @@ class Comm {
   /// out.size() == sum(counts). Ring algorithm, p-1 steps.
   template <typename T>
   void allgatherv(std::span<const T> in, std::span<T> out, std::span<const int> counts) {
+    auto span = collective_span("allgatherv", in.size_bytes());
+    span.arg_str("algo", "ring");
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("allgatherv");
     collectives::allgatherv_ring(*ctx_, in, out, counts, tags);
@@ -193,15 +241,19 @@ class Comm {
   /// Personalised exchange: in/out have p equal blocks of block elements each.
   template <typename T>
   void alltoall(std::span<const T> in, std::span<T> out, std::size_t block) {
+    const AlltoallAlgo algo = alltoall_algo(block * sizeof(T));
+    auto span = collective_span("alltoall", in.size_bytes());
+    span.arg_str("algo", algorithm_name(Family::kAlltoall, static_cast<int>(algo)));
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("alltoall");
-    collectives::alltoall(*ctx_, alltoall_algo(block * sizeof(T)), in, out, block, tags);
+    collectives::alltoall(*ctx_, algo, in, out, block, tags);
   }
 
   /// Variable-size personalised exchange (element counts per destination).
   template <typename T>
   void alltoallv(std::span<const T> in, std::span<const int> send_counts,
                  std::span<T> out, std::span<const int> recv_counts) {
+    auto span = collective_span("alltoallv", in.size_bytes());
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("alltoallv");
     collectives::alltoallv(*ctx_, in, send_counts, out, recv_counts, tags);
@@ -210,6 +262,7 @@ class Comm {
   /// Naive gather of equal blocks to root (out used at root only).
   template <typename T>
   void gather(std::span<const T> in, std::span<T> out, int root) {
+    auto span = collective_span("gather", in.size_bytes());
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("gather");
     collectives::gather_linear(*ctx_, in, out, root, tags);
@@ -218,6 +271,7 @@ class Comm {
   /// Scatter of equal blocks from root (in used at root only).
   template <typename T>
   void scatter(std::span<const T> in, std::span<T> out, int root) {
+    auto span = collective_span("scatter", out.size_bytes());
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("scatter");
     collectives::scatter_linear(*ctx_, in, out, root, tags);
@@ -227,6 +281,7 @@ class Comm {
   template <typename T>
   void scatterv(std::span<const T> in, std::span<const int> counts, std::span<T> out,
                 int root) {
+    auto span = collective_span("scatterv", out.size_bytes());
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("scatterv");
     collectives::scatterv_linear(*ctx_, in, counts, out, root, tags);
@@ -241,6 +296,7 @@ class Comm {
     const std::size_t block = out.size();
     require(in.size() == block * static_cast<std::size_t>(p),
             "reduce_scatter: in must hold p blocks");
+    auto span = collective_span("reduce_scatter", in.size_bytes());
     // Reduce to root 0, then scatter the blocks.
     std::vector<T> reduced(in.size());
     reduce(in, std::span<T>(reduced.data(), reduced.size()), /*root=*/0, op);
@@ -251,12 +307,26 @@ class Comm {
   /// ranks 0..r. Linear pipeline.
   template <typename T, typename Op>
   void scan(std::span<const T> in, std::span<T> out, Op op) {
+    auto span = collective_span("scan", in.size_bytes());
     GearScope gear(*ctx_, config_.comm_gear_ghz);
     const TagBlock tags = tags_.acquire("scan");
     collectives::scan_linear(*ctx_, in, out, op, tags);
   }
 
  private:
+  // RAII trace span for one collective call: cat "smpi", name = the family,
+  // args {p, bytes[, algo]}. Declared first in each collective so it closes
+  // last (covering gear restore), and composites' inner collectives nest
+  // inside it by time containment. Also bumps the always-on call metrics.
+  obs::SpanScope<detail::CtxNow> collective_span(const char* name, std::size_t bytes) {
+    detail::note_collective(bytes);
+    obs::SpanScope<detail::CtxNow> span(ctx_->trace_sink(), ctx_->rank(), "smpi", name,
+                                        detail::CtxNow{ctx_});
+    span.arg_int("p", size());
+    span.arg_int("bytes", static_cast<long long>(bytes));
+    return span;
+  }
+
   // Per-call algorithm resolution: tuning table when present, fixed enum
   // otherwise. `bytes` is the per-rank payload of the call.
   AlltoallAlgo alltoall_algo(std::size_t bytes) const {

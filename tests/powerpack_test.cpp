@@ -191,6 +191,26 @@ TEST(TraceExport, PowerCsvRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(Profiler, PowerAtRejectsGappedTraces) {
+  // Engine-recorded traces are contiguous by construction; a hole between
+  // segments means the trace was corrupted or hand-built wrong. power_at must
+  // not silently paper over it: debug builds assert, release builds warn once
+  // and attribute idle power.
+  const auto spec = machine();
+  powerpack::Profiler prof(spec);
+  std::vector<sim::Segment> gapped;
+  gapped.push_back(sim::Segment{0.0, 0.5, sim::Activity::kCompute, spec.cpu.base_ghz});
+  gapped.push_back(sim::Segment{1.0, 0.5, sim::Activity::kCompute, spec.cpu.base_ghz});
+#ifdef NDEBUG
+  const auto s = prof.power_at(gapped, 0.75);
+  EXPECT_DOUBLE_EQ(s.total_w(), spec.power.system_idle_w());
+#else
+  EXPECT_DEATH((void)prof.power_at(gapped, 0.75), "gap between trace segments");
+#endif
+  // Queries inside real segments are unaffected.
+  EXPECT_GT(prof.power_at(gapped, 0.25).total_w(), spec.power.system_idle_w());
+}
+
 TEST(TraceExport, SegmentsCsvHasAllRanks) {
   const auto spec = machine();
   auto res = traced_run(
