@@ -109,10 +109,15 @@ inline bool init(int argc, const char* const* argv) {
   }
 
   util::Cli cli("experiment harness (shared flags; figures print to stdout + CSV)");
-  cli.flag("csv-dir", detail::csv_dir(), "directory for CSV output")
+  // Bench binaries take flags only: a stray positional token is almost always
+  // a typo'd flag (`-cache-dir=X`, `cache-dir X`) that would otherwise be
+  // silently ignored — e.g. running cold despite naming a cache directory.
+  cli.no_positional()
+      .flag("csv-dir", detail::csv_dir(), "directory for CSV output")
       .flag("seed", "", "noise-seed override (empty = machine preset default)")
       .flag("jobs", "1", "host-thread budget (1 = serial, 0 = all cores)")
       .flag("cache-dir", "", "result-cache directory (empty = caching off)")
+      .flag("cache-max-mb", "0", "result-cache size cap in MiB, oldest entries pruned (0 = unbounded)")
       .flag("trace-out", "", "write a Chrome trace of the run to this file")
       .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file");
   if (!cli.parse(argc, argv)) return false;
@@ -124,6 +129,8 @@ inline bool init(int argc, const char* const* argv) {
   }
   detail::exec_cfg().jobs = static_cast<int>(cli.get_int("jobs"));
   detail::exec_cfg().cache_dir = cli.get("cache-dir");
+  detail::exec_cfg().cache_max_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-max-mb")) * (1ull << 20);
   detail::trace_out() = cli.get("trace-out");
   detail::metrics_out() = cli.get("metrics-out");
   if (!detail::trace_out().empty()) {

@@ -48,7 +48,8 @@ int replay(const std::string& text) {
 
 int main(int argc, char** argv) {
   util::Cli cli("randomized property soak over src/check (nightly CI driver)");
-  cli.flag("seed", "1", "sweep seed (CI passes a date-derived value)")
+  cli.no_positional()
+      .flag("seed", "1", "sweep seed (CI passes a date-derived value)")
       .flag("cases", "2000", "number of generated configs to check")
       .flag("repro", "", "replay one repro string instead of sweeping")
       .flag("shrink-budget", "200", "oracle runs spent minimizing each failure")

@@ -356,7 +356,7 @@ EnergyStudy::EnergyStudy(sim::MachineSpec machine, std::unique_ptr<BenchmarkAdap
     : machine_(std::move(machine)),
       adapter_(std::move(adapter)),
       exec_(std::move(exec)),
-      cache_(std::make_unique<exec::ResultCache>(exec_.cache_dir)),
+      cache_(std::make_unique<exec::ResultCache>(exec_.cache_dir, exec_.cache_max_bytes)),
       machine_fp_(exec::machine_fingerprint(machine_)) {
   // The microbenchmark pass itself runs simulations, so it is cached too —
   // otherwise a "warm" figure rerun would still simulate its calibration.

@@ -73,7 +73,7 @@ SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts) {
   // the sweep options, so the payloads (and therefore the failure list) are
   // identical for every jobs value, and cacheable under a key derived from
   // exactly those inputs.
-  exec::ResultCache cache(opts.exec.cache_dir);
+  exec::ResultCache cache(opts.exec.cache_dir, opts.exec.cache_max_bytes);
   std::vector<exec::Case> cases;
   cases.reserve(configs.size());
   for (const CheckConfig& cfg : configs) {

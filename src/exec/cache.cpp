@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "exec/codec.hpp"
 #include "obs/metrics.hpp"
@@ -29,6 +31,26 @@ obs::Counter& cache_miss_metric() {
 obs::Counter& cache_store_metric() {
   static obs::Counter& c = obs::metrics().counter("exec.result_cache_stores");
   return c;
+}
+obs::Counter& cache_prune_metric() {
+  static obs::Counter& c = obs::metrics().counter("exec.result_cache_pruned");
+  return c;
+}
+
+bool is_entry_file(const fs::path& p) { return p.extension() == ".result"; }
+
+/// Sums the entry files under `dir`. Errors (entries vanishing mid-scan) are
+/// skipped: the estimate self-corrects on the next prune.
+std::uint64_t scan_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || !is_entry_file(it->path())) continue;
+    const std::uint64_t size = it->file_size(ec);
+    if (!ec) total += size;
+  }
+  return total;
 }
 }  // namespace
 
@@ -65,7 +87,8 @@ std::string machine_fingerprint(const sim::MachineSpec& m) {
   return os.str();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   if (dir_.empty()) return;
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -75,6 +98,10 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
     return;
   }
   enabled_ = true;
+  // A capped cache opened over existing entries must count them against the
+  // cap, so the footprint is measured once up front (uncapped caches skip the
+  // walk — they never consult the estimate).
+  if (max_bytes_ > 0) approx_bytes_.store(scan_bytes(dir_));
 }
 
 std::string ResultCache::entry_path(const std::string& key) const {
@@ -152,7 +179,64 @@ bool ResultCache::store(const std::string& key, const std::string& payload) cons
   }
   ++stores_;
   cache_store_metric().inc();
+  if (max_bytes_ > 0) {
+    std::uint64_t size = 0;
+    std::error_code size_ec;
+    size = fs::file_size(path, size_ec);
+    if (size_ec) size = payload.size();  // entry replaced already: estimate
+    if (approx_bytes_.fetch_add(size) + size > max_bytes_) prune();
+  }
   return true;
+}
+
+void ResultCache::prune() const {
+  std::lock_guard<std::mutex> lock(prune_mu_);
+  if (approx_bytes_.load() <= max_bytes_) return;  // another thread just pruned
+
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || !is_entry_file(it->path())) continue;
+    Entry e;
+    e.path = it->path().string();
+    e.size = it->file_size(ec);
+    if (ec) continue;
+    e.mtime = it->last_write_time(ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+
+  // Oldest first; path breaks mtime ties so every pruner picks the same
+  // victims regardless of directory iteration order.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+
+  std::uint64_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    fs::remove(e.path, ec);
+    if (ec) continue;  // e.g. pruned by a concurrent process: already gone
+    total -= e.size;
+    ++removed;
+  }
+  approx_bytes_.store(total);
+  if (removed > 0) {
+    pruned_ += removed;
+    cache_prune_metric().inc(removed);
+    ISOEE_INFO("result cache: pruned %llu oldest entries (%llu bytes kept, cap %llu)",
+               static_cast<unsigned long long>(removed),
+               static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(max_bytes_));
+  }
 }
 
 }  // namespace isoee::exec

@@ -14,10 +14,18 @@
 // Invalidation is by key content only: bump kCacheSalt whenever a change to
 // the simulator, the collectives, or the model alters any simulated
 // observable — every old entry then misses and is re-simulated.
+//
+// A long-running process (the what-if query service) can optionally cap the
+// on-disk footprint: with `max_bytes` set, a store that pushes the cache past
+// the cap triggers oldest-first pruning (by entry write time; ties broken by
+// path so concurrent processes prune the same victims). Pruning removes whole
+// entry files — the same atomicity unit as the temp+rename writes — so a
+// reader racing a prune sees a miss, never a torn entry.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -42,10 +50,13 @@ class ResultCache {
   /// Opens (and creates, once, up front) the cache directory. On failure the
   /// cache logs a warning and stays disabled: load always misses, store is a
   /// no-op — callers never have to special-case an unusable cache dir.
-  explicit ResultCache(std::string dir);
+  /// `max_bytes` caps the on-disk footprint (0 = unbounded): when a store
+  /// pushes past the cap, the oldest entries are pruned until the total fits.
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
 
   bool enabled() const { return enabled_; }
   const std::string& dir() const { return dir_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
 
   /// Returns the payload stored under `key`, or nullopt (miss, corrupt entry,
   /// or key-collision mismatch).
@@ -58,15 +69,30 @@ class ResultCache {
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
   std::uint64_t stores() const { return stores_.load(); }
+  std::uint64_t pruned() const { return pruned_.load(); }
+
+  /// Current on-disk footprint estimate (exact after construction and after
+  /// every prune; between prunes it grows by this process's stores only, so
+  /// concurrent writers may overshoot the cap by one prune cycle).
+  std::uint64_t approx_bytes() const { return approx_bytes_.load(); }
 
  private:
   std::string entry_path(const std::string& key) const;
 
+  /// Rescans the directory and removes oldest entries until the footprint is
+  /// back under max_bytes_. Serialized per instance; safe against concurrent
+  /// loads/stores (removal is whole-file, a racing reader just misses).
+  void prune() const;
+
   std::string dir_;
   bool enabled_ = false;
+  std::uint64_t max_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> approx_bytes_{0};
+  mutable std::mutex prune_mu_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> stores_{0};
+  mutable std::atomic<std::uint64_t> pruned_{0};
 };
 
 }  // namespace isoee::exec

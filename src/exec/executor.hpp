@@ -45,6 +45,7 @@ namespace isoee::exec {
 struct ExecConfig {
   int jobs = 1;            // host-thread budget; 0 = hardware_concurrency, 1 = serial
   std::string cache_dir;   // empty = result caching off
+  std::uint64_t cache_max_bytes = 0;  // on-disk cap, oldest pruned (0 = unbounded)
 
   bool parallel() const { return jobs != 1; }
 };

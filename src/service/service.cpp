@@ -1,0 +1,573 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "analysis/policy.hpp"
+#include "analysis/study.hpp"
+#include "analysis/workload_fit.hpp"
+#include "benchtools/calibrate.hpp"
+#include "exec/codec.hpp"
+#include "model/isocontour.hpp"
+#include "model/model.hpp"
+#include "model/serialize.hpp"
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "util/log.hpp"
+
+namespace isoee::service {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter& requests = obs::metrics().counter("service.requests");
+  obs::Counter& errors = obs::metrics().counter("service.errors");
+  obs::Counter& tier_model = obs::metrics().counter("service.tier_model");
+  obs::Counter& tier_cache = obs::metrics().counter("service.tier_cache");
+  obs::Counter& tier_sim = obs::metrics().counter("service.tier_sim");
+  obs::Histogram& latency_model_s =
+      obs::metrics().histogram("service.latency_model_s", obs::default_time_buckets_s());
+  obs::Histogram& latency_cache_s =
+      obs::metrics().histogram("service.latency_cache_s", obs::default_time_buckets_s());
+  obs::Histogram& latency_sim_s =
+      obs::metrics().histogram("service.latency_sim_s", obs::default_time_buckets_s());
+
+  static ServiceMetrics& get() {
+    static ServiceMetrics m;
+    return m;
+  }
+};
+
+[[noreturn]] void fail(ErrorCode code, const std::string& message) {
+  throw RequestError(code, message);
+}
+
+sim::MachineSpec spec_for(const std::string& name) {
+  if (name == "system_g") return sim::system_g();
+  if (name == "dori") return sim::dori();
+  fail(ErrorCode::kUnknownMachine,
+       "unknown machine '" + name + "' (have: system_g, dori)");
+}
+
+bool known_app(const std::string& app) {
+  return app == "EP" || app == "FT" || app == "CG" || app == "IS" || app == "MG" ||
+         app == "CKPT" || app == "SWEEP";
+}
+
+void require_known_app(const std::string& app) {
+  if (!known_app(app)) {
+    fail(ErrorCode::kUnknownApp,
+         "unknown app '" + app + "' (have: EP, FT, CG, IS, MG, CKPT, SWEEP)");
+  }
+}
+
+std::unique_ptr<analysis::BenchmarkAdapter> adapter_for(const std::string& app) {
+  require_known_app(app);
+  if (app == "EP") return analysis::make_ep_adapter();
+  if (app == "FT") return analysis::make_ft_adapter();
+  if (app == "CG") return analysis::make_cg_adapter();
+  if (app == "IS") return analysis::make_is_adapter();
+  if (app == "MG") return analysis::make_mg_adapter();
+  if (app == "CKPT") return analysis::make_ckpt_adapter();
+  return analysis::make_sweep_adapter();
+}
+
+/// Stock fitted models (the workloads.hpp defaults) for the apps whose
+/// coefficients ship pre-fitted. MG/CKPT/SWEEP default to all-zero fitted
+/// coefficients, so they have no stock model — calibrate first.
+std::shared_ptr<const model::WorkloadModel> stock_workload(const std::string& app) {
+  if (app == "EP") {
+    static const auto w = std::make_shared<const model::EpWorkload>();
+    return w;
+  }
+  if (app == "FT") {
+    static const auto w = std::make_shared<const model::FtWorkload>();
+    return w;
+  }
+  if (app == "CG") {
+    static const auto w = std::make_shared<const model::CgWorkload>();
+    return w;
+  }
+  if (app == "IS") {
+    static const auto w = std::make_shared<const model::IsWorkload>();
+    return w;
+  }
+  return nullptr;
+}
+
+bool is_pow2(int p) { return p >= 1 && (p & (p - 1)) == 0; }
+
+/// FT and MG decompose on power-of-two grids; other p values would make the
+/// backing simulation throw, so they are rejected up front as a client error.
+void require_valid_sim_point(const std::string& app, const sim::MachineSpec& spec, int p) {
+  if (p > spec.total_cores()) {
+    fail(ErrorCode::kInvalidParams, "p exceeds " + spec.name + "'s " +
+                                        std::to_string(spec.total_cores()) + " cores");
+  }
+  if ((app == "FT" || app == "MG") && !is_pow2(p)) {
+    fail(ErrorCode::kInvalidParams, "app '" + app + "' requires a power-of-two p");
+  }
+}
+
+// Cache codecs, byte-compatible with the ones in src/analysis/study.cpp so
+// the service and the figure drivers share warm entries when pointed at the
+// same --cache-dir (same keys, same payload layout). Keep the two in sync.
+std::string encode_params(const model::MachineParams& m) {
+  return m.name + '\x1f' +
+         exec::encode_doubles({m.cpi, m.f_ghz, m.base_ghz, m.t_m, m.t_s, m.t_w,
+                               m.p_sys_idle, m.dp_c_base, m.dp_m, m.dp_io, m.gamma,
+                               m.poll_factor, m.f_comm_ghz});
+}
+
+model::MachineParams decode_params(const std::string& text) {
+  const std::size_t sep = text.find('\x1f');
+  if (sep == std::string::npos) throw std::invalid_argument("machine-params entry: no name");
+  const std::vector<double> v = exec::decode_doubles(std::string_view(text).substr(sep + 1));
+  if (v.size() != 13) throw std::invalid_argument("machine-params entry: wrong arity");
+  model::MachineParams m;
+  m.name = text.substr(0, sep);
+  m.cpi = v[0];
+  m.f_ghz = v[1];
+  m.base_ghz = v[2];
+  m.t_m = v[3];
+  m.t_s = v[4];
+  m.t_w = v[5];
+  m.p_sys_idle = v[6];
+  m.dp_c_base = v[7];
+  m.dp_m = v[8];
+  m.dp_io = v[9];
+  m.gamma = v[10];
+  m.poll_factor = v[11];
+  m.f_comm_ghz = v[12];
+  return m;
+}
+
+std::string encode_sample(const analysis::CounterSample& s) {
+  return exec::encode_doubles({s.n, static_cast<double>(s.p), s.instructions,
+                               s.mem_accesses, s.mem_time, s.io_time, s.makespan,
+                               s.messages, s.bytes, s.alpha});
+}
+
+analysis::CounterSample decode_sample(const std::string& text) {
+  const std::vector<double> v = exec::decode_doubles(text);
+  if (v.size() != 10) throw std::invalid_argument("counter-sample entry: wrong arity");
+  analysis::CounterSample s;
+  s.n = v[0];
+  s.p = static_cast<int>(v[1]);
+  s.instructions = v[2];
+  s.mem_accesses = v[3];
+  s.mem_time = v[4];
+  s.io_time = v[5];
+  s.makespan = v[6];
+  s.messages = v[7];
+  s.bytes = v[8];
+  s.alpha = v[9];
+  return s;
+}
+
+std::string study_key(const char* kind, const std::string& machine_fp,
+                      const std::string& adapter_fp, double n, int p, double f_ghz) {
+  return std::string(kind) + '\x1f' + machine_fp + '\x1f' + adapter_fp + '\x1f' +
+         exec::encode_f64(n) + '\x1f' + std::to_string(p) + '\x1f' + exec::encode_f64(f_ghz);
+}
+
+std::string json_field(const char* key, double v) {
+  return std::string("\"") + key + "\":" + json_num(v);
+}
+
+std::string json_field(const char* key, std::uint64_t v) {
+  return std::string("\"") + key + "\":" + std::to_string(v);
+}
+
+/// Power-of-two processor counts 2..cap (the default search grid for the
+/// optimize / iso_contour sweeps when the request names no `ps`).
+std::vector<int> pow2_ps(int cap) {
+  std::vector<int> ps;
+  for (int p = 2; p <= cap; p *= 2) ps.push_back(p);
+  if (ps.empty()) ps.push_back(1);
+  return ps;
+}
+
+double host_now_s() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  SchedulerConfig sched;
+  sched.jobs = config_.jobs;
+  sched.max_pending = config_.max_pending;
+  sched.cache_dir = config_.cache_dir;
+  sched.cache_max_bytes = config_.cache_max_bytes;
+  scheduler_ = std::make_unique<SimScheduler>(sched);
+}
+
+Service::~Service() = default;
+
+std::string Service::handle_line(const std::string& line) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.requests.inc();
+  const double t0 = host_now_s();
+  std::string id_json = "null";
+  std::string method = "?";
+  std::string tier = "model";
+  std::string response;
+  try {
+    const Request req = parse_request(line, &id_json);
+    id_json = req.id_json;
+    bool coalesced = false;
+    std::string fragment;
+    switch (req.method) {
+      case Method::kPredict:
+        method = "predict";
+        fragment = handle_predict(req, &tier, &coalesced);
+        break;
+      case Method::kCalibrate:
+        method = "calibrate";
+        fragment = handle_calibrate(req, &tier, &coalesced);
+        break;
+      case Method::kOptimize:
+        method = "optimize";
+        fragment = handle_optimize(req);
+        break;
+      case Method::kIsoContour:
+        method = "iso_contour";
+        fragment = handle_iso_contour(req);
+        break;
+      case Method::kStats:
+        method = "stats";
+        fragment = handle_stats();
+        break;
+      case Method::kShutdown:
+        method = "shutdown";
+        shutdown_.store(true);
+        fragment = "{\"stopping\":true}";
+        break;
+    }
+    response = render_ok(id_json, tier, coalesced, fragment);
+    if (tier == "model") {
+      metrics.tier_model.inc();
+    } else if (tier == "cache") {
+      metrics.tier_cache.inc();
+    } else {
+      metrics.tier_sim.inc();
+    }
+  } catch (const RequestError& e) {
+    metrics.errors.inc();
+    tier = "error";
+    response = render_error(id_json, e.code(), e.what());
+  } catch (const std::exception& e) {
+    metrics.errors.inc();
+    tier = "error";
+    response = render_error(id_json, ErrorCode::kInternal, e.what());
+  }
+
+  const double dur = host_now_s() - t0;
+  if (tier == "sim") {
+    metrics.latency_sim_s.observe(dur);
+  } else if (tier == "cache") {
+    metrics.latency_cache_s.observe(dur);
+  } else if (tier == "model") {
+    metrics.latency_model_s.observe(dur);
+  }
+  // Service spans run on *host* time (there is no virtual clock spanning
+  // requests); they land under cat "service" so trace tooling can tell them
+  // apart from the simulators' virtual-time spans.
+  if (obs::TraceSink* sink = obs::global_sink()) {
+    obs::emit_span(*sink, 0, "service", method, t0, dur, {obs::arg_str("tier", tier)});
+  }
+  return response;
+}
+
+Service::Calibration Service::resolve_model(const Request& req) const {
+  const sim::MachineSpec spec = spec_for(req.machine);
+  require_known_app(req.app);
+  if (req.calibrated) {
+    std::lock_guard<std::mutex> lock(cal_mu_);
+    const auto it = calibrations_.find(req.machine + '\x1f' + req.app);
+    if (it == calibrations_.end()) {
+      fail(ErrorCode::kNotCalibrated,
+           "no calibration for (" + req.machine + ", " + req.app + "); call calibrate first");
+    }
+    return it->second;
+  }
+  Calibration cal;
+  cal.machine = tools::nominal_machine_params(spec);
+  cal.workload = stock_workload(req.app);
+  if (cal.workload == nullptr) {
+    fail(ErrorCode::kNotCalibrated,
+         "app '" + req.app + "' ships no stock model; calibrate it, then pass calibrated:true");
+  }
+  return cal;
+}
+
+std::string Service::handle_predict(const Request& req, std::string* tier, bool* coalesced) {
+  if (!req.measured) {
+    const Calibration cal = resolve_model(req);
+    const double f = req.f_ghz > 0.0 ? req.f_ghz : cal.machine.base_ghz;
+    const model::IsoEnergyModel m(cal.machine.at_frequency(f));
+    const model::AppParams app = cal.workload->at(req.n, req.p);
+    const model::PerfPrediction perf = m.predict_performance(app);
+    const model::EnergyPrediction energy = m.predict_energy(app);
+    return "{" + json_field("n", req.n) + "," + json_field("p", double(req.p)) + "," +
+           json_field("f_ghz", f) + "," + json_field("T1", perf.T1) + "," +
+           json_field("Tp", perf.Tp) + "," + json_field("T_net", perf.T_net) + "," +
+           json_field("speedup", perf.speedup) + "," +
+           json_field("perf_efficiency", perf.perf_efficiency) + "," +
+           json_field("E1", energy.E1) + "," + json_field("Ep", energy.Ep) + "," +
+           json_field("Eo", energy.Eo) + "," + json_field("EEF", energy.EEF) + "," +
+           json_field("EE", energy.EE) + "}";
+  }
+
+  // Measured tier: one full simulation through the scheduler (coalesced,
+  // admission-controlled, warm-cache short-circuited inside run_batch).
+  const sim::MachineSpec spec = spec_for(req.machine);
+  require_known_app(req.app);
+  require_valid_sim_point(req.app, spec, req.p);
+  const double f = req.f_ghz > 0.0 ? req.f_ghz : spec.cpu.base_ghz;
+  std::shared_ptr<analysis::BenchmarkAdapter> adapter = adapter_for(req.app);
+  const std::string key = study_key("measure", exec::machine_fingerprint(spec),
+                                    adapter->fingerprint(), req.n, req.p, f);
+
+  exec::Case c;
+  c.threads = req.p;
+  c.cache_key = key;
+  const sim::MachineSpec machine = spec;
+  const double n = req.n;
+  const int p = req.p;
+  c.run = [adapter, machine, n, p, f]() -> std::string {
+    analysis::RunOptions options;
+    options.f_ghz = f;
+    double snapped = n;
+    const sim::RunResult run = adapter->run(machine, n, p, options, &snapped);
+    return exec::encode_doubles({snapped, run.total_energy_j(), run.makespan,
+                                 run.mean_alpha()});
+  };
+  std::vector<exec::Case> cases;
+  cases.push_back(std::move(c));
+
+  SimScheduler::Ticket ticket = scheduler_->submit(
+      key, std::move(cases), [](const std::vector<exec::CaseResult>& results) {
+        if (!results[0].ok()) throw std::runtime_error(results[0].error);
+        return results[0].payload;
+      });
+  if (ticket.rejected) {
+    fail(ErrorCode::kOverloaded, "simulation queue is full; retry later");
+  }
+  *coalesced = ticket.coalesced;
+  Outcome outcome;
+  try {
+    outcome = ticket.result.get();
+  } catch (const std::exception& e) {
+    fail(ErrorCode::kSimFailed, e.what());
+  }
+  *tier = outcome.simulated ? "sim" : "cache";
+  const std::vector<double> v = exec::decode_doubles(outcome.payload);
+  if (v.size() != 4) fail(ErrorCode::kInternal, "measure payload: wrong arity");
+  return "{" + json_field("n", v[0]) + "," + json_field("p", double(req.p)) + "," +
+         json_field("f_ghz", f) + "," + json_field("energy_j", v[1]) + "," +
+         json_field("time_s", v[2]) + "," + json_field("alpha", v[3]) + "}";
+}
+
+std::string Service::handle_calibrate(const Request& req, std::string* tier, bool* coalesced) {
+  const sim::MachineSpec spec = spec_for(req.machine);
+  std::shared_ptr<analysis::BenchmarkAdapter> adapter = adapter_for(req.app);
+
+  // Calibration points, mirroring analysis::EnergyStudy::calibrate: a
+  // sequential sweep over the problem sizes, then a parallel sweep at the
+  // largest size.
+  std::vector<double> ns = req.ns;
+  if (ns.empty()) {
+    const double d = adapter->default_n();
+    ns = {d / 4.0, d / 2.0, d};
+  }
+  std::vector<int> ps = req.ps;
+  if (ps.empty()) ps = {2, 4};
+  for (int p : ps) require_valid_sim_point(req.app, spec, p);
+
+  struct Point {
+    double n;
+    int p;
+  };
+  std::vector<Point> points;
+  for (double n : ns) points.push_back({n, 1});
+  for (int p : ps) {
+    if (p > 1) points.push_back({ns.back(), p});
+  }
+
+  const std::string machine_fp = exec::machine_fingerprint(spec);
+  const std::string adapter_fp = adapter->fingerprint();
+
+  std::vector<exec::Case> cases;
+  // Case 0: the microbenchmark machine-vector pass (itself simulation-backed,
+  // and cached under the same key analysis::EnergyStudy uses).
+  {
+    exec::Case c;
+    c.threads = 2;  // mpptest ping-pong runs on two ranks
+    c.cache_key = std::string("machine-params\x1f") + machine_fp + "\x1f" + "measured";
+    const sim::MachineSpec machine = spec;
+    c.run = [machine]() { return encode_params(tools::calibrate_machine(machine)); };
+    cases.push_back(std::move(c));
+  }
+  for (const Point& pt : points) {
+    exec::Case c;
+    c.threads = pt.p;
+    c.cache_key = study_key("calibrate", machine_fp, adapter_fp, pt.n, pt.p, 0.0);
+    const sim::MachineSpec machine = spec;
+    c.run = [adapter, machine, pt]() -> std::string {
+      double snapped = pt.n;
+      const sim::RunResult run =
+          adapter->run(machine, pt.n, pt.p, analysis::RunOptions(), &snapped);
+      return encode_sample(analysis::make_sample(run, snapped, pt.p));
+    };
+    cases.push_back(std::move(c));
+  }
+
+  std::string job_key = "calibrate-job\x1f" + machine_fp + '\x1f' + adapter_fp;
+  for (const Point& pt : points) {
+    job_key += '\x1f' + exec::encode_f64(pt.n) + ',' + std::to_string(pt.p);
+  }
+
+  SimScheduler::Ticket ticket = scheduler_->submit(
+      job_key, std::move(cases),
+      [adapter](const std::vector<exec::CaseResult>& results) -> std::string {
+        for (const exec::CaseResult& r : results) {
+          if (!r.ok()) throw std::runtime_error("calibration case failed: " + r.error);
+        }
+        const model::MachineParams mp = decode_params(results[0].payload);
+        std::vector<analysis::CounterSample> samples;
+        samples.reserve(results.size() - 1);
+        for (std::size_t i = 1; i < results.size(); ++i) {
+          samples.push_back(decode_sample(results[i].payload));
+        }
+        const std::unique_ptr<model::WorkloadModel> workload =
+            adapter->fit(samples, mp.t_m);
+        // \x1e separates the two [section] documents (never appears in them).
+        return model::serialize(mp) + '\x1e' + model::serialize(*workload);
+      });
+  if (ticket.rejected) {
+    fail(ErrorCode::kOverloaded, "simulation queue is full; retry later");
+  }
+  *coalesced = ticket.coalesced;
+  Outcome outcome;
+  try {
+    outcome = ticket.result.get();
+  } catch (const std::exception& e) {
+    fail(ErrorCode::kSimFailed, e.what());
+  }
+  *tier = outcome.simulated ? "sim" : "cache";
+
+  const std::size_t sep = outcome.payload.find('\x1e');
+  if (sep == std::string::npos) fail(ErrorCode::kInternal, "calibration payload: no separator");
+  const std::string machine_text = outcome.payload.substr(0, sep);
+  const std::string workload_text = outcome.payload.substr(sep + 1);
+  const std::optional<model::MachineParams> mp = model::parse_machine(machine_text);
+  std::unique_ptr<model::WorkloadModel> workload = model::parse_workload(workload_text);
+  if (!mp || workload == nullptr) {
+    fail(ErrorCode::kInternal, "calibration payload: unparsable");
+  }
+
+  Calibration cal;
+  cal.machine = *mp;
+  cal.workload = std::shared_ptr<const model::WorkloadModel>(std::move(workload));
+  {
+    std::lock_guard<std::mutex> lock(cal_mu_);
+    calibrations_[req.machine + '\x1f' + req.app] = cal;
+  }
+  ISOEE_INFO("service: calibrated (%s, %s) from %zu points", req.machine.c_str(),
+             req.app.c_str(), points.size());
+
+  return std::string("{\"machine\":\"") + req.machine + "\",\"app\":\"" + req.app + "\"," +
+         json_field("samples", static_cast<std::uint64_t>(points.size())) +
+         ",\"machine_params\":\"" + obs::json_escape(machine_text) + "\",\"workload\":\"" +
+         obs::json_escape(workload_text) + "\"}";
+}
+
+std::string Service::handle_optimize(const Request& req) {
+  const Calibration cal = resolve_model(req);
+  const sim::MachineSpec spec = spec_for(req.machine);
+  const double f = req.f_ghz > 0.0 ? req.f_ghz : cal.machine.base_ghz;
+  const std::vector<double>& gears = spec.cpu.gears_ghz;
+  const std::vector<int> ps =
+      req.ps.empty() ? pow2_ps(std::min(spec.total_cores(), 1024)) : req.ps;
+
+  const std::string head = std::string("{\"objective\":\"") + req.objective + "\"," +
+                           json_field("n", req.n) + ",";
+  if (req.objective == "max_p") {
+    const int p = model::max_processors(cal.machine, *cal.workload, req.n, f,
+                                        req.target_ee, req.p_max);
+    const double ee = model::ee_at(cal.machine, *cal.workload, req.n, p, f);
+    return head + json_field("p", double(p)) + "," + json_field("f_ghz", f) + "," +
+           json_field("target_ee", req.target_ee) + "," + json_field("ee", ee) + "}";
+  }
+  if (req.objective == "best_f_ee" || req.objective == "best_f_energy") {
+    const double best =
+        req.objective == "best_f_ee"
+            ? model::best_frequency_for_ee(cal.machine, *cal.workload, req.n, req.p, gears)
+            : model::best_frequency_for_energy(cal.machine, *cal.workload, req.n, req.p,
+                                               gears);
+    const model::IsoEnergyModel m(cal.machine.at_frequency(best));
+    const model::EnergyPrediction energy =
+        m.predict_energy(cal.workload->at(req.n, req.p));
+    return head + json_field("p", double(req.p)) + "," + json_field("f_ghz", best) + "," +
+           json_field("energy_j", energy.Ep) + "," + json_field("ee", energy.EE) + "}";
+  }
+
+  const analysis::PolicyChoice choice =
+      req.objective == "min_time_under_cap"
+          ? analysis::best_under_power_cap(cal.machine, *cal.workload, req.n, ps, gears,
+                                           req.cap_w)
+          : analysis::best_energy_under_deadline(cal.machine, *cal.workload, req.n, ps,
+                                                 gears, req.deadline_s);
+  return head + json_field("p", double(choice.p)) + "," +
+         json_field("f_ghz", choice.f_ghz) + "," + json_field("time_s", choice.time_s) +
+         "," + json_field("energy_j", choice.energy_j) + "," +
+         json_field("avg_power_w", choice.avg_power_w) + "," +
+         json_field("ee", choice.ee) + ",\"feasible\":" +
+         (choice.feasible ? "true" : "false") + "}";
+}
+
+std::string Service::handle_iso_contour(const Request& req) {
+  const Calibration cal = resolve_model(req);
+  const sim::MachineSpec spec = spec_for(req.machine);
+  const double f = req.f_ghz > 0.0 ? req.f_ghz : cal.machine.base_ghz;
+  const std::vector<int> ps =
+      req.ps.empty() ? pow2_ps(std::min(spec.total_cores(), 256)) : req.ps;
+  const std::vector<model::ContourPoint> contour = model::iso_ee_contour(
+      cal.machine, *cal.workload, req.target_ee, ps, f, req.n_lo, req.n_hi);
+
+  std::string out = "{" + json_field("target_ee", req.target_ee) + "," +
+                    json_field("f_ghz", f) + ",\"points\":[";
+  for (std::size_t i = 0; i < contour.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{" + json_field("p", double(contour[i].p)) + "," +
+           json_field("n", contour[i].n) + "," + json_field("ee", contour[i].ee) + "}";
+  }
+  return out + "]}";
+}
+
+std::string Service::handle_stats() {
+  const ServiceMetrics& m = ServiceMetrics::get();
+  const exec::ResultCache& cache = scheduler_->cache();
+  return "{" + json_field("runs_started", sim::Engine::total_runs_started()) + "," +
+         json_field("requests", m.requests.value()) + "," +
+         json_field("errors", m.errors.value()) + "," +
+         json_field("tier_model", m.tier_model.value()) + "," +
+         json_field("tier_cache", m.tier_cache.value()) + "," +
+         json_field("tier_sim", m.tier_sim.value()) + "," +
+         json_field("coalesced", obs::metrics().counter("service.coalesced").value()) +
+         "," + json_field("rejected", obs::metrics().counter("service.rejected").value()) +
+         "," + json_field("cache_hits", cache.hits()) + "," +
+         json_field("cache_misses", cache.misses()) + "," +
+         json_field("cache_stores", cache.stores()) + "," +
+         json_field("cache_pruned", cache.pruned()) + "}";
+}
+
+}  // namespace isoee::service

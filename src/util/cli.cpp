@@ -14,6 +14,11 @@ Cli& Cli::flag(const std::string& name, const std::string& default_value,
   return *this;
 }
 
+Cli& Cli::no_positional() {
+  allow_positional_ = false;
+  return *this;
+}
+
 bool Cli::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -22,6 +27,11 @@ bool Cli::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (!allow_positional_) {
+        std::fprintf(stderr, "unexpected argument '%s' (flags are spelled --name=value)\n%s",
+                     arg.c_str(), usage().c_str());
+        return false;
+      }
       positional_.push_back(arg);
       continue;
     }

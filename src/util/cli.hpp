@@ -21,6 +21,13 @@ class Cli {
   /// chaining. Values are stored as strings and converted on access.
   Cli& flag(const std::string& name, const std::string& default_value, const std::string& help);
 
+  /// Declares that this binary takes no positional arguments: parse() then
+  /// rejects any bare token (after printing usage) instead of collecting it.
+  /// Flag-only binaries want this — a typo'd flag such as `-cache-dir=X`
+  /// (single dash) or `cache-dir=X` (no dashes) otherwise parses as a
+  /// positional argument and is silently ignored.
+  Cli& no_positional();
+
   /// Parses argv. Returns false (after printing usage) if --help was given or
   /// an unknown/malformed flag was encountered.
   bool parse(int argc, const char* const* argv);
@@ -45,6 +52,7 @@ class Cli {
   std::vector<std::string> order_;  // registration order, for --help
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
+  bool allow_positional_ = true;
 };
 
 }  // namespace isoee::util

@@ -474,6 +474,75 @@ TEST(ResultCache, ErrorsAreNeverCached) {
   EXPECT_EQ(executions.load(), 2);
 }
 
+/// Stores `count` entries of ~`bytes` each with strictly increasing write
+/// times (entry i is older than entry i+1), so oldest-first pruning order is
+/// deterministic regardless of filesystem timestamp granularity.
+void store_aged_entries(const exec::ResultCache& cache, const std::string& dir, int count,
+                        std::size_t bytes) {
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(cache.store("entry-" + std::to_string(i), std::string(bytes, 'a' + i)));
+  }
+  // Re-stamp write times oldest-first by stored key (the key is each entry
+  // file's first line).
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::string key;
+    std::getline(in, key);
+    const int i = std::stoi(key.substr(key.rfind('-') + 1));
+    fs::last_write_time(e.path(), now - std::chrono::hours(count - i));
+  }
+}
+
+TEST(ResultCache, CapPrunesOldestEntriesFirst) {
+  const std::string dir = scratch_dir("prune_oldest");
+  {
+    exec::ResultCache cache(dir);
+    store_aged_entries(cache, dir, 6, 1000);
+  }
+  // Measure one entry's on-disk size (payload + key line + framing) from the
+  // directory: the unbounded cache never tracks its footprint.
+  std::uint64_t total_bytes = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) total_bytes += e.file_size();
+  }
+  const std::uint64_t entry_bytes = total_bytes / 6;
+  ASSERT_GT(entry_bytes, 1000u);
+  // Reopen with room for ~3 entries; the next store must prune the oldest.
+  exec::ResultCache cache(dir, 3 * entry_bytes + entry_bytes / 2);
+  ASSERT_TRUE(cache.store("entry-6", std::string(1000, 'g')));
+  EXPECT_GE(cache.pruned(), 3u);
+  EXPECT_LE(cache.approx_bytes(), cache.max_bytes());
+  // Newest entries survive; the oldest are gone (a miss, never an error).
+  EXPECT_TRUE(cache.load("entry-6").has_value());
+  EXPECT_TRUE(cache.load("entry-5").has_value());
+  EXPECT_FALSE(cache.load("entry-0").has_value());
+  EXPECT_FALSE(cache.load("entry-1").has_value());
+}
+
+TEST(ResultCache, MaxBytesZeroMeansUnbounded) {
+  const std::string dir = scratch_dir("prune_unbounded");
+  exec::ResultCache cache(dir);  // default: no cap
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache.store("k" + std::to_string(i), std::string(4096, 'x')));
+  }
+  EXPECT_EQ(cache.pruned(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cache.load("k" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST(ResultCache, PrunedEntriesAreRecomputedNotResurrected) {
+  const std::string dir = scratch_dir("prune_recompute");
+  exec::ResultCache cache(dir, 1);  // cap below a single entry
+  ASSERT_TRUE(cache.store("only", "payload"));
+  EXPECT_GE(cache.pruned(), 1u);
+  EXPECT_FALSE(cache.load("only").has_value());
+  // Storing again works: pruning never poisons a key.
+  ASSERT_TRUE(cache.store("only", "payload"));
+}
+
 TEST(ResultCache, MachineFingerprintSeparatesPresetsAndNoiseSeeds) {
   const std::string a = exec::machine_fingerprint(sim::system_g());
   const std::string b = exec::machine_fingerprint(sim::dori());

@@ -1,0 +1,582 @@
+// Tier-1 tests for src/service: the wire protocol (strict parsing + seeded
+// fuzzing over the request grammar), the three-tier answer path (model /
+// cache / sim), request coalescing, admission control, the calibrate flow,
+// and the stdin transport.
+//
+// The sim-tier tests use small EP cases so the whole binary stays in the
+// seconds range; the serving-smoke CI job covers the TCP transport and load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchtools/tracestats.hpp"
+#include "model/isocontour.hpp"
+#include "model/workloads.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "benchtools/calibrate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace isoee;
+using service::ErrorCode;
+using service::Request;
+using service::Service;
+using service::ServiceConfig;
+
+/// Fresh per-test scratch directory (removed up front so reruns start cold).
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("isoee_service_test_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Parses a response line and returns the JSON document (asserts it parses —
+/// every response the service emits must be a valid JSON object).
+benchtools::JsonValue parse_response(const std::string& line) {
+  benchtools::JsonValue v;
+  EXPECT_NO_THROW(v = benchtools::parse_json(line)) << line;
+  EXPECT_TRUE(v.is(benchtools::JsonValue::Type::kObject)) << line;
+  return v;
+}
+
+bool response_ok(const benchtools::JsonValue& v) {
+  const auto* ok = v.find("ok");
+  return ok != nullptr && ok->is(benchtools::JsonValue::Type::kBool) && ok->boolean;
+}
+
+std::string error_code_of(const benchtools::JsonValue& v) {
+  const auto* err = v.find("error");
+  if (err == nullptr) return "";
+  const auto* code = err->find("code");
+  return code != nullptr ? code->str : "";
+}
+
+std::string tier_of(const benchtools::JsonValue& v) {
+  const auto* tier = v.find("tier");
+  return tier != nullptr ? tier->str : "";
+}
+
+/// The response from `"result":` / `"error":` onward — the tier-independent
+/// part that the determinism contract covers (tier/coalesced are the
+/// documented race-dependent exception).
+std::string stable_fragment(const std::string& line) {
+  std::size_t at = line.find("\"result\":");
+  if (at == std::string::npos) at = line.find("\"error\":");
+  return at == std::string::npos ? line : line.substr(at);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: envelope and id echo.
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, IdIsEchoedNumberStringNullAndAbsent) {
+  Service svc{ServiceConfig{}};
+  const std::string base = R"("method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":4})";
+
+  EXPECT_EQ(svc.handle_line("{\"id\":7," + base + "}").rfind("{\"id\":7,", 0), 0u);
+  EXPECT_EQ(svc.handle_line("{\"id\":\"abc\"," + base + "}").rfind("{\"id\":\"abc\",", 0), 0u);
+  EXPECT_EQ(svc.handle_line("{\"id\":null," + base + "}").rfind("{\"id\":null,", 0), 0u);
+  EXPECT_EQ(svc.handle_line("{" + base + "}").rfind("{\"id\":null,", 0), 0u);
+}
+
+TEST(Protocol, IdSurvivesIntoErrorResponses) {
+  Service svc{ServiceConfig{}};
+  const auto v = parse_response(
+      svc.handle_line(R"({"id":41,"method":"predict","params":{"machine":"nope","app":"EP","n":1,"p":4}})"));
+  EXPECT_FALSE(response_ok(v));
+  ASSERT_NE(v.find("id"), nullptr);
+  EXPECT_EQ(v.find("id")->number, 41.0);
+  EXPECT_EQ(error_code_of(v), "unknown_machine");
+}
+
+TEST(Protocol, GarbageIsAParseError) {
+  Service svc{ServiceConfig{}};
+  for (const char* line : {"{nope", "[1,2", "tru", "\"unterminated", "{\"a\":}", "}"}) {
+    const auto v = parse_response(svc.handle_line(line));
+    EXPECT_FALSE(response_ok(v)) << line;
+    EXPECT_EQ(error_code_of(v), "parse_error") << line;
+  }
+}
+
+TEST(Protocol, NonObjectAndBadEnvelopeAreInvalidRequests) {
+  Service svc{ServiceConfig{}};
+  const char* cases[] = {
+      "[1,2]",                                  // not an object
+      "42",                                     // not an object
+      "{}",                                     // no method
+      R"({"method":7})",                        // method not a string
+      R"({"method":"predict","params":[1]})",   // params not an object
+      R"({"method":"predict","extra":1,"params":{}})",  // unknown envelope key
+  };
+  for (const char* line : cases) {
+    const auto v = parse_response(svc.handle_line(line));
+    EXPECT_FALSE(response_ok(v)) << line;
+    EXPECT_EQ(error_code_of(v), "invalid_request") << line;
+  }
+}
+
+TEST(Protocol, UnknownMethod) {
+  Service svc{ServiceConfig{}};
+  const auto v = parse_response(svc.handle_line(R"({"method":"frobnicate"})"));
+  EXPECT_EQ(error_code_of(v), "unknown_method");
+}
+
+TEST(Protocol, DuplicateKeysAreRejectedAtEveryNestingLevel) {
+  Service svc{ServiceConfig{}};
+  const char* cases[] = {
+      R"({"method":"stats","method":"stats"})",
+      R"({"method":"predict","params":{"machine":"system_g","machine":"dori","app":"EP","n":1}})",
+  };
+  for (const char* line : cases) {
+    const auto v = parse_response(svc.handle_line(line));
+    EXPECT_FALSE(response_ok(v)) << line;
+    const std::string code = error_code_of(v);
+    EXPECT_TRUE(code == "invalid_request" || code == "invalid_params") << line;
+  }
+}
+
+TEST(Protocol, UnknownParameterNeverFallsBackToADefault) {
+  Service svc{ServiceConfig{}};
+  // "procs" is a typo for "p": must be invalid_params naming the key, not a
+  // silent p=1 answer.
+  const auto v = parse_response(svc.handle_line(
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"procs":8}})"));
+  EXPECT_FALSE(response_ok(v));
+  EXPECT_EQ(error_code_of(v), "invalid_params");
+  EXPECT_NE(v.find("error")->find("message")->str.find("procs"), std::string::npos);
+}
+
+TEST(Protocol, TypeAndRangeViolationsAreInvalidParams) {
+  Service svc{ServiceConfig{}};
+  const char* cases[] = {
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":-1}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":"big"}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":0}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":2.5}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"f_ghz":500}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"measured":1}})",
+      R"({"method":"optimize","params":{"machine":"system_g","app":"EP","n":1e6,"objective":"max_p","target_ee":1.5}})",
+      R"({"method":"calibrate","params":{"machine":"system_g","app":"EP","ns":[1000,"x"]}})",
+      R"({"method":"optimize","params":{"machine":"system_g","app":"EP","n":1e6,"objective":"nonsense"}})",
+      R"({"method":"optimize","params":{"machine":"system_g","app":"EP","n":1e6,"objective":"min_time_under_cap"}})",
+      R"({"method":"stats","params":{"n":1}})",
+  };
+  for (const char* line : cases) {
+    const auto v = parse_response(svc.handle_line(line));
+    EXPECT_FALSE(response_ok(v)) << line;
+    EXPECT_EQ(error_code_of(v), "invalid_params") << line;
+  }
+}
+
+TEST(Protocol, OversizedArraysAndLinesAreRejected) {
+  Service svc{ServiceConfig{}};
+  std::string many = R"({"method":"calibrate","params":{"machine":"system_g","app":"EP","ns":[)";
+  for (int i = 0; i < 100; ++i) many += (i ? "," : "") + std::to_string(1000 + i);
+  many += "]}}";
+  EXPECT_EQ(error_code_of(parse_response(svc.handle_line(many))), "invalid_params");
+
+  const std::string huge(service::kMaxLineBytes + 1, ' ');
+  const auto v = parse_response(svc.handle_line("{\"method\":\"stats\"}" + huge));
+  EXPECT_FALSE(response_ok(v));
+  EXPECT_EQ(error_code_of(v), "invalid_request");
+}
+
+TEST(Protocol, ParseRequestThrowsOnlyRequestError) {
+  // The direct-parser contract behind handle_line's never-throws guarantee.
+  const char* lines[] = {"{", "[]", R"({"method":"predict","params":{"n":1}})",
+                         R"({"method":"predict"})", "null", ""};
+  for (const char* line : lines) {
+    try {
+      (void)service::parse_request(line);
+      ADD_FAILURE() << "expected RequestError for: " << line;
+    } catch (const service::RequestError&) {
+    } catch (...) {
+      ADD_FAILURE() << "non-RequestError exception for: " << line;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model tier: answers match the analytical model directly, byte for byte
+// reproducible.
+// ---------------------------------------------------------------------------
+
+TEST(ModelTier, PredictMatchesDirectModelEvaluation) {
+  Service svc{ServiceConfig{}};
+  const std::string line =
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":2e6,"p":16}})";
+  const auto v = parse_response(svc.handle_line(line));
+  ASSERT_TRUE(response_ok(v));
+  EXPECT_EQ(tier_of(v), "model");
+
+  const model::MachineParams mp = tools::nominal_machine_params(sim::system_g());
+  const model::EpWorkload ep;
+  const double want = model::ee_at(mp, ep, 2e6, 16, mp.base_ghz);
+  const auto* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->find("EE"), nullptr);
+  EXPECT_DOUBLE_EQ(result->find("EE")->number, want);
+  EXPECT_DOUBLE_EQ(result->find("p")->number, 16.0);
+}
+
+TEST(ModelTier, ResponsesAreByteIdenticalAcrossServicesAndJobs) {
+  const char* lines[] = {
+      R"({"id":1,"method":"predict","params":{"machine":"system_g","app":"FT","n":4.2e6,"p":16}})",
+      R"({"id":2,"method":"optimize","params":{"machine":"dori","app":"CG","n":1e6,"objective":"min_time_under_cap","cap_w":900}})",
+      R"({"id":3,"method":"iso_contour","params":{"machine":"system_g","app":"FT","target_ee":0.5,"ps":[2,4,8]}})",
+  };
+  ServiceConfig one;
+  one.jobs = 1;
+  ServiceConfig eight;
+  eight.jobs = 8;
+  Service a{one}, b{eight};
+  for (const char* line : lines) {
+    const std::string ra = a.handle_line(line);
+    EXPECT_EQ(ra, a.handle_line(line)) << line;   // rerun, same service
+    EXPECT_EQ(ra, b.handle_line(line)) << line;   // different --jobs
+  }
+}
+
+TEST(ModelTier, OptimizeMaxPMatchesDirectModel) {
+  Service svc{ServiceConfig{}};
+  const auto v = parse_response(svc.handle_line(
+      R"({"method":"optimize","params":{"machine":"system_g","app":"FT","n":4.2e6,"objective":"max_p","target_ee":0.5,"p_max":512}})"));
+  ASSERT_TRUE(response_ok(v));
+  EXPECT_EQ(tier_of(v), "model");
+
+  const model::MachineParams mp = tools::nominal_machine_params(sim::system_g());
+  const model::FtWorkload ft;
+  const int want = model::max_processors(mp, ft, 4.2e6, mp.base_ghz, 0.5, 512);
+  EXPECT_DOUBLE_EQ(v.find("result")->find("p")->number, double(want));
+}
+
+TEST(ModelTier, IsoContourMatchesDirectModel) {
+  Service svc{ServiceConfig{}};
+  const auto v = parse_response(svc.handle_line(
+      R"({"method":"iso_contour","params":{"machine":"system_g","app":"FT","target_ee":0.6,"ps":[2,4,8,16]}})"));
+  ASSERT_TRUE(response_ok(v));
+
+  const model::MachineParams mp = tools::nominal_machine_params(sim::system_g());
+  const model::FtWorkload ft;
+  const std::vector<int> ps = {2, 4, 8, 16};
+  const auto want = model::iso_ee_contour(mp, ft, 0.6, ps, mp.base_ghz, 1e2, 1e10);
+  const auto* points = v.find("result")->find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->array.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points->array[i].find("p")->number, double(want[i].p));
+    EXPECT_DOUBLE_EQ(points->array[i].find("n")->number, want[i].n);
+  }
+}
+
+TEST(ModelTier, UncalibratedAppsWithoutStockCoefficientsAreNotCalibrated) {
+  Service svc{ServiceConfig{}};
+  for (const char* app : {"MG", "CKPT", "SWEEP"}) {
+    const auto v = parse_response(svc.handle_line(
+        std::string(R"({"method":"predict","params":{"machine":"dori","app":")") + app +
+        R"(","n":1e6,"p":4}})"));
+    EXPECT_FALSE(response_ok(v)) << app;
+    EXPECT_EQ(error_code_of(v), "not_calibrated") << app;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sim and cache tiers.
+// ---------------------------------------------------------------------------
+
+/// A small measured-predict line (full simulation, single case).
+std::string measured_line(double n, int p) {
+  return R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":)" +
+         std::to_string(n) + ",\"p\":" + std::to_string(p) + ",\"measured\":true}}";
+}
+
+TEST(SimTier, MeasuredPredictGoesSimThenCacheAndIsByteStable) {
+  const std::string dir = scratch_dir("sim_then_cache");
+  ServiceConfig config;
+  config.cache_dir = dir;
+  std::string first;
+  {
+    Service svc{config};
+    first = svc.handle_line(measured_line(20000, 2));
+    EXPECT_EQ(tier_of(parse_response(first)), "sim");
+  }
+  // A fresh service over the same cache answers warm: no simulation runs.
+  Service svc{config};
+  const std::uint64_t runs_before = sim::Engine::total_runs_started();
+  const std::string second = svc.handle_line(measured_line(20000, 2));
+  EXPECT_EQ(tier_of(parse_response(second)), "cache");
+  EXPECT_EQ(sim::Engine::total_runs_started(), runs_before);
+  EXPECT_EQ(stable_fragment(first), stable_fragment(second));
+}
+
+TEST(SimTier, IdenticalConcurrentColdQueriesCoalesceIntoOneSimulation) {
+  ServiceConfig config;
+  config.jobs = 2;
+  Service svc{config};
+  constexpr int kClients = 4;
+  const std::string line = measured_line(24000, 2);
+
+  const std::uint64_t runs_before = sim::Engine::total_runs_started();
+  std::vector<std::string> responses(kClients);
+  {
+    // Barrier so all clients are in flight before any simulation finishes.
+    std::mutex mu;
+    std::condition_variable cv;
+    int ready = 0;
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          if (++ready == kClients) cv.notify_all();
+          cv.wait(lock, [&] { return ready == kClients; });
+        }
+        responses[i] = svc.handle_line(line);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  EXPECT_EQ(sim::Engine::total_runs_started() - runs_before, 1u)
+      << "N identical in-flight queries must share one simulation";
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(response_ok(parse_response(responses[i])));
+    EXPECT_EQ(stable_fragment(responses[i]), stable_fragment(responses[0]));
+  }
+}
+
+TEST(SimTier, AdmissionControlRejectsWhenPendingCapIsZero) {
+  ServiceConfig config;
+  config.max_pending = 0;
+  Service svc{config};
+  const auto v = parse_response(svc.handle_line(measured_line(20000, 2)));
+  EXPECT_FALSE(response_ok(v));
+  EXPECT_EQ(error_code_of(v), "overloaded");
+  // The model tier does not pass through the admission controller.
+  const auto m = parse_response(svc.handle_line(
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":4}})"));
+  EXPECT_TRUE(response_ok(m));
+  EXPECT_EQ(tier_of(m), "model");
+}
+
+TEST(SimTier, CalibrateFitsInstallsAndWarmRerunsFromCache) {
+  const std::string dir = scratch_dir("calibrate");
+  ServiceConfig config;
+  config.cache_dir = dir;
+  config.jobs = 2;
+  const std::string cal_line =
+      R"({"method":"calibrate","params":{"machine":"system_g","app":"EP","ns":[20000,40000],"ps":[2]}})";
+  const std::string predict_line =
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":8,"calibrated":true}})";
+
+  std::string first;
+  std::string predicted;
+  {
+    Service svc{config};
+    // Before calibration, calibrated:true has nothing to resolve.
+    EXPECT_EQ(error_code_of(parse_response(svc.handle_line(predict_line))),
+              "not_calibrated");
+    first = svc.handle_line(cal_line);
+    const auto v = parse_response(first);
+    ASSERT_TRUE(response_ok(v)) << first;
+    EXPECT_EQ(tier_of(v), "sim");
+    EXPECT_GE(v.find("result")->find("samples")->number, 3.0);
+    // Fitted state is now installed: the calibrated predict is a model-tier
+    // answer (no further simulation).
+    const std::uint64_t runs_before = sim::Engine::total_runs_started();
+    predicted = svc.handle_line(predict_line);
+    EXPECT_EQ(tier_of(parse_response(predicted)), "model");
+    EXPECT_EQ(sim::Engine::total_runs_started(), runs_before);
+  }
+
+  // A fresh service re-calibrates entirely from the warm cache, reproducing
+  // both the calibration payload and the downstream prediction byte for byte.
+  Service svc{config};
+  const std::uint64_t runs_before = sim::Engine::total_runs_started();
+  const std::string second = svc.handle_line(cal_line);
+  EXPECT_EQ(tier_of(parse_response(second)), "cache");
+  EXPECT_EQ(sim::Engine::total_runs_started(), runs_before);
+  EXPECT_EQ(stable_fragment(first), stable_fragment(second));
+  EXPECT_EQ(stable_fragment(predicted), stable_fragment(svc.handle_line(predict_line)));
+}
+
+TEST(SimTier, SimulationPointValidationHappensBeforeAnySimulation) {
+  Service svc{ServiceConfig{}};
+  // FT requires a power-of-two p; p beyond the machine is invalid too.
+  const char* cases[] = {
+      R"({"method":"predict","params":{"machine":"system_g","app":"FT","n":65536,"p":3,"measured":true}})",
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":20000,"p":65536,"measured":true}})",
+  };
+  const std::uint64_t runs_before = sim::Engine::total_runs_started();
+  for (const char* line : cases) {
+    EXPECT_EQ(error_code_of(parse_response(svc.handle_line(line))), "invalid_params")
+        << line;
+  }
+  EXPECT_EQ(sim::Engine::total_runs_started(), runs_before);
+}
+
+// ---------------------------------------------------------------------------
+// Stats, shutdown, and the stdin transport.
+// ---------------------------------------------------------------------------
+
+TEST(Endpoints, StatsReportsCountersAndRunsStarted) {
+  Service svc{ServiceConfig{}};
+  (void)svc.handle_line(
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":4}})");
+  const auto v = parse_response(svc.handle_line(R"({"method":"stats"})"));
+  ASSERT_TRUE(response_ok(v));
+  const auto* result = v.find("result");
+  for (const char* key : {"runs_started", "requests", "errors", "tier_model", "tier_cache",
+                          "tier_sim", "coalesced", "rejected", "cache_hits",
+                          "cache_misses", "cache_stores", "cache_pruned"}) {
+    EXPECT_NE(result->find(key), nullptr) << key;
+  }
+  EXPECT_GE(result->find("tier_model")->number, 1.0);
+}
+
+TEST(Endpoints, ShutdownStopsTheStdinLoopMidStream) {
+  Service svc{ServiceConfig{}};
+  std::istringstream in(
+      R"({"id":1,"method":"stats"})" "\n"
+      "\n"  // blank keep-alive line: ignored, not an error
+      R"({"id":2,"method":"shutdown"})" "\n"
+      R"({"id":3,"method":"stats"})" "\n");
+  std::ostringstream out;
+  const std::size_t handled = service::run_stdin(svc, in, out);
+  EXPECT_EQ(handled, 2u);  // the post-shutdown request is never read
+  EXPECT_TRUE(svc.shutdown_requested());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"stopping\":true"), std::string::npos);
+  EXPECT_EQ(text.find("\"id\":3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz over the request grammar (satellite: the parser must map every
+// malformed input to exactly one deterministic structured error — no crash,
+// no hang, no best-effort guess).
+// ---------------------------------------------------------------------------
+
+/// A pool of valid model-tier request lines the mutator starts from.
+std::vector<std::string> fuzz_corpus() {
+  return {
+      R"({"id":1,"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":8}})",
+      R"({"id":"q","method":"predict","params":{"machine":"dori","app":"FT","n":4.2e6,"p":16,"f_ghz":2.0}})",
+      R"({"method":"optimize","params":{"machine":"system_g","app":"CG","n":1e6,"objective":"min_time_under_cap","cap_w":800,"ps":[2,4,8]}})",
+      R"({"method":"optimize","params":{"machine":"dori","app":"FT","n":1e7,"objective":"best_f_ee","p":8}})",
+      R"({"method":"iso_contour","params":{"machine":"system_g","app":"FT","target_ee":0.5,"ps":[2,4,8,16]}})",
+      R"({"method":"calibrate","params":{"machine":"system_g","app":"IS","ns":[100000,200000],"ps":[2,4]}})",
+      R"({"method":"stats"})",
+  };
+}
+
+/// Applies one seeded mutation. Mutations deliberately cover the interesting
+/// failure axes: truncation, byte noise, duplicated keys, type swaps, and
+/// structural garbage.
+std::string mutate(const std::string& base, util::Xoshiro256& rng) {
+  const std::uint64_t kind = rng() % 8;
+  std::string s = base;
+  switch (kind) {
+    case 0:  // truncate at a random byte
+      return s.substr(0, rng() % (s.size() + 1));
+    case 1: {  // overwrite one byte with printable noise
+      if (!s.empty()) s[rng() % s.size()] = char(' ' + rng() % 95);
+      return s;
+    }
+    case 2: {  // insert a random byte
+      s.insert(s.begin() + long(rng() % (s.size() + 1)), char(' ' + rng() % 95));
+      return s;
+    }
+    case 3: {  // duplicate a random key-value-ish span
+      const std::size_t at = s.find("\"", 1 + rng() % (s.size() / 2));
+      if (at == std::string::npos || at + 8 >= s.size()) return s + s;
+      return s.substr(0, at) + s.substr(at, 8) + s.substr(at);
+    }
+    case 4: {  // swap a digit for a string opener (type confusion)
+      for (std::size_t i = rng() % s.size(); i < s.size(); ++i) {
+        if (s[i] >= '0' && s[i] <= '9') {
+          s[i] = '"';
+          break;
+        }
+      }
+      return s;
+    }
+    case 5: {  // deep nesting
+      std::string nest(1 + rng() % 40, '[');
+      return R"({"method":"predict","params":)" + nest;
+    }
+    case 6:  // concatenate two documents on one line
+      return s + s;
+    default: {  // splice two corpus entries
+      const auto pool = fuzz_corpus();
+      const std::string& other = pool[rng() % pool.size()];
+      return s.substr(0, rng() % (s.size() + 1)) +
+             other.substr(rng() % (other.size() + 1));
+    }
+  }
+}
+
+TEST(Fuzz, EveryMutatedRequestYieldsOneDeterministicStructuredResponse) {
+  // max_pending = 0: a mutation that survives as a valid sim-tier request
+  // (e.g. the calibrate corpus line unchanged) is rejected instantly and
+  // deterministically as `overloaded` instead of running simulations.
+  ServiceConfig config;
+  config.max_pending = 0;
+  Service svc{config};
+  util::Xoshiro256 rng(20260807);
+  const auto corpus = fuzz_corpus();
+  int errors = 0, oks = 0;
+
+  for (int i = 0; i < 1500; ++i) {
+    const std::string line = mutate(corpus[rng() % corpus.size()], rng);
+
+    // 1. The parser throws RequestError or nothing — never anything else.
+    try {
+      (void)service::parse_request(line);
+    } catch (const service::RequestError&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-RequestError `" << e.what() << "` for: " << line;
+    }
+
+    // 2. The service renders exactly one valid JSON response object with a
+    //    known error code, deterministically.
+    const std::string response = svc.handle_line(line);
+    const auto v = parse_response(response);
+    ASSERT_NE(v.find("ok"), nullptr) << line;
+    if (response_ok(v)) {
+      ++oks;
+    } else {
+      ++errors;
+      const std::string code = error_code_of(v);
+      EXPECT_TRUE(code == "parse_error" || code == "invalid_request" ||
+                  code == "unknown_method" || code == "invalid_params" ||
+                  code == "unknown_machine" || code == "unknown_app" ||
+                  code == "not_calibrated" || code == "overloaded" ||
+                  code == "internal")
+          << code << " for: " << line;
+    }
+    // Replaying the line must reproduce the response byte for byte. (A
+    // surviving `stats` request is the one legitimate exception: its result
+    // is a live counter snapshot.)
+    if (response.find("\"runs_started\":") == std::string::npos) {
+      EXPECT_EQ(response, svc.handle_line(line)) << "nondeterministic: " << line;
+    }
+  }
+  // The mutator must actually exercise both sides of the parser.
+  EXPECT_GT(errors, 500);
+  EXPECT_GT(oks, 20);
+}
+
+}  // namespace

@@ -252,6 +252,24 @@ TEST(Cli, PositionalArguments) {
   EXPECT_EQ(cli.positional()[1], "more");
 }
 
+TEST(Cli, NoPositionalRejectsStrayArguments) {
+  // A mistyped `--flag value` (for a flag spelled `--flag=value`) must fail
+  // loudly instead of being silently ignored as a positional.
+  Cli cli("test");
+  cli.no_positional().flag("p", "4", "ranks");
+  const char* argv[] = {"prog", "--p=2", "stray"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, NoPositionalStillAcceptsFlags) {
+  Cli cli("test");
+  cli.no_positional().flag("p", "4", "ranks").flag("verbose", "false", "log");
+  const char* argv[] = {"prog", "--p=8", "--verbose"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("p"), 8);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
 }  // namespace
 
 // --- log ----------------------------------------------------------------------
