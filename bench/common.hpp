@@ -15,6 +15,9 @@
 //   --jobs=N         host-thread budget for case execution (1 = serial,
 //                    0 = hardware_concurrency); results are identical for
 //                    every value by the executor's determinism contract
+//   --engine-workers=N  host workers per simulation for the fiber engine
+//                    (0 = automatic); results are identical for every value
+//                    by the scheduler's determinism contract
 //   --cache-dir=DIR  content-addressed result cache; a warm rerun replays
 //                    cached results and executes zero simulations
 //   --trace-out=F    install a process-global obs collector and write the
@@ -35,6 +38,7 @@
 #include "analysis/surface.hpp"
 #include "exec/executor.hpp"
 #include "obs/obs.hpp"
+#include "sim/engine.hpp"
 #include "sim/machine.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -116,6 +120,7 @@ inline bool init(int argc, const char* const* argv) {
       .flag("csv-dir", detail::csv_dir(), "directory for CSV output")
       .flag("seed", "", "noise-seed override (empty = machine preset default)")
       .flag("jobs", "1", "host-thread budget (1 = serial, 0 = all cores)")
+      .flag("engine-workers", "0", "fiber-engine workers per simulation (0 = auto)")
       .flag("cache-dir", "", "result-cache directory (empty = caching off)")
       .flag("cache-max-mb", "0", "result-cache size cap in MiB, oldest entries pruned (0 = unbounded)")
       .flag("trace-out", "", "write a Chrome trace of the run to this file")
@@ -128,6 +133,7 @@ inline bool init(int argc, const char* const* argv) {
     detail::seed_value() = static_cast<std::uint64_t>(cli.get_int("seed"));
   }
   detail::exec_cfg().jobs = static_cast<int>(cli.get_int("jobs"));
+  sim::set_default_engine_workers(static_cast<int>(cli.get_int("engine-workers")));
   detail::exec_cfg().cache_dir = cli.get("cache-dir");
   detail::exec_cfg().cache_max_bytes =
       static_cast<std::uint64_t>(cli.get_int("cache-max-mb")) * (1ull << 20);

@@ -5,6 +5,7 @@
 
 #include "exec/cache.hpp"
 #include "exec/codec.hpp"
+#include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -399,7 +400,9 @@ void EnergyStudy::calibrate(std::span<const double> ns, std::span<const int> ps)
   cases.reserve(points.size());
   for (const Point& pt : points) {
     exec::Case c;
-    c.threads = pt.p;
+    // Cost = fiber-scheduler workers, not ranks: a p=1024 case occupies a
+    // worker or two of the host, so sweeps genuinely parallelize.
+    c.threads = sim::resolve_engine_workers(0, pt.p);
     if (cache_->enabled()) c.cache_key = study_key("calibrate", pt.n, pt.p, 0.0);
     c.run = [this, pt]() -> std::string {
       double snapped = pt.n;

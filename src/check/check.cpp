@@ -5,6 +5,7 @@
 
 #include "check/generators.hpp"
 #include "check/shrink.hpp"
+#include "sim/engine.hpp"
 #include "smpi/registry.hpp"
 
 namespace isoee::check {
@@ -78,7 +79,8 @@ SweepStats run_sweep(std::uint64_t seed, int count, const SweepOptions& opts) {
   cases.reserve(configs.size());
   for (const CheckConfig& cfg : configs) {
     exec::Case c;
-    c.threads = cfg.p;  // peak engine threads the oracle's runs spawn at once
+    c.threads = sim::resolve_engine_workers(0, cfg.p);  // fiber-engine workers
+                                                        // the oracle's runs use
     if (cache.enabled()) {
       c.cache_key = "sweep\x1f" + cfg.repro() +
                     "\x1f"

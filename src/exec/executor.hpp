@@ -1,14 +1,19 @@
 // Batch case executor: runs independent, deterministic simulation cases on a
 // bounded pool with results delivered in submission order.
 //
-// Concurrency is budgeted in *host threads*, not cases: a simulated job of
-// nranks ranks spawns nranks engine threads, so a case declares
-// `threads = nranks` and the pool admits cases while sum(threads) of the
-// running set stays within the budget (default: hardware_concurrency).
-// Admission is strictly FIFO — the next case in submission order is admitted
-// as soon as its cost fits — which bounds memory, avoids starving wide cases,
-// and keeps the wall-clock profile reproducible. A case wider than the whole
-// budget runs alone (its cost clamps to the budget) instead of deadlocking.
+// Concurrency is budgeted in *host threads*, not cases. Since the engine
+// rearchitecture a simulated job costs its configured fiber-scheduler worker
+// count — sim::resolve_engine_workers(0, nranks), typically 1 for the small
+// jobs that dominate sweeps — NOT nranks, so a default budget now admits
+// many p=1024 cases concurrently instead of serializing them behind a
+// budget sized for thread-per-rank engines. Simulation call sites declare
+// `threads = resolve_engine_workers(...)`; non-engine work declares what it
+// actually spawns. The pool admits cases while sum(threads) of the running
+// set stays within the budget (default: hardware_concurrency). Admission is
+// strictly FIFO — the next case in submission order is admitted as soon as
+// its cost fits — which bounds memory, avoids starving wide cases, and keeps
+// the wall-clock profile reproducible. A case wider than the whole budget
+// runs alone (its cost clamps to the budget) instead of deadlocking.
 //
 // Determinism contract: case bodies must be pure functions of their own
 // inputs (per-case seeded RNG, no shared mutable state). Under that contract
@@ -54,6 +59,7 @@ struct ExecConfig {
 /// payload; it is invoked at most once.
 struct Case {
   int threads = 1;                    // host threads consumed while running
+                                      // (engine jobs: resolved worker count)
   std::string cache_key;              // content address; empty = never cached
   std::function<std::string()> run;
 };

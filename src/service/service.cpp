@@ -337,7 +337,7 @@ std::string Service::handle_predict(const Request& req, std::string* tier, bool*
                                     adapter->fingerprint(), req.n, req.p, f);
 
   exec::Case c;
-  c.threads = req.p;
+  c.threads = sim::resolve_engine_workers(0, req.p);
   c.cache_key = key;
   const sim::MachineSpec machine = spec;
   const double n = req.n;
@@ -410,7 +410,7 @@ std::string Service::handle_calibrate(const Request& req, std::string* tier, boo
   // and cached under the same key analysis::EnergyStudy uses).
   {
     exec::Case c;
-    c.threads = 2;  // mpptest ping-pong runs on two ranks
+    c.threads = sim::resolve_engine_workers(0, 2);  // mpptest ping-pong: 2 ranks
     c.cache_key = std::string("machine-params\x1f") + machine_fp + "\x1f" + "measured";
     const sim::MachineSpec machine = spec;
     c.run = [machine]() { return encode_params(tools::calibrate_machine(machine)); };
@@ -418,7 +418,7 @@ std::string Service::handle_calibrate(const Request& req, std::string* tier, boo
   }
   for (const Point& pt : points) {
     exec::Case c;
-    c.threads = pt.p;
+    c.threads = sim::resolve_engine_workers(0, pt.p);
     c.cache_key = study_key("calibrate", machine_fp, adapter_fp, pt.n, pt.p, 0.0);
     const sim::MachineSpec machine = spec;
     c.run = [adapter, machine, pt]() -> std::string {
@@ -567,7 +567,19 @@ std::string Service::handle_stats() {
          "," + json_field("cache_hits", cache.hits()) + "," +
          json_field("cache_misses", cache.misses()) + "," +
          json_field("cache_stores", cache.stores()) + "," +
-         json_field("cache_pruned", cache.pruned()) + "}";
+         json_field("cache_pruned", cache.pruned()) + "," +
+         // Fiber-engine throughput (rank-scale rearchitecture): totals over
+         // every simulation this process ran, plus the most recent run's
+         // simulated-rank-seconds per host second.
+         json_field("engine_ranks_simulated",
+                    obs::metrics().counter("engine.ranks_simulated").value()) +
+         "," +
+         json_field("engine_events_processed",
+                    obs::metrics().counter("engine.events_processed").value()) +
+         "," +
+         json_field("engine_rank_seconds_per_sec",
+                    obs::metrics().gauge("engine.rank_seconds_per_sec").value()) +
+         "}";
 }
 
 }  // namespace isoee::service

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "sim/sched.hpp"
 #include "util/log.hpp"
 
 namespace isoee::sim {
@@ -17,6 +19,56 @@ double RunResult::mean_alpha() const {
   double sum = 0.0;
   for (const auto& r : ranks) sum += r.alpha;
   return sum / static_cast<double>(ranks.size());
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count resolution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_default_workers{0};
+
+int env_engine_workers() {
+  static const int v = [] {
+    const char* s = std::getenv("ISOEE_ENGINE_WORKERS");
+    if (s == nullptr || *s == '\0') return 0;
+    char* end = nullptr;
+    const long n = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || n < 0 || n > 4096) return 0;
+    return static_cast<int>(n);
+  }();
+  return v;
+}
+
+}  // namespace
+
+void set_default_engine_workers(int workers) {
+  g_default_workers.store(std::max(workers, 0), std::memory_order_relaxed);
+}
+
+int default_engine_workers() {
+  return g_default_workers.load(std::memory_order_relaxed);
+}
+
+int resolve_engine_workers(int requested, int nranks) {
+  if (nranks < 1) nranks = 1;
+  int w = requested;
+  if (w <= 0) w = default_engine_workers();
+  if (w <= 0) w = env_engine_workers();
+  if (w <= 0) {
+    // Automatic policy: small jobs run fastest on one worker — a fiber switch
+    // is tens of nanoseconds while a cross-worker wakeup is a cv round-trip —
+    // and exec::run_batch already parallelizes across cases. Only large jobs
+    // are worth spreading over host cores.
+    if (nranks < 256) {
+      w = 1;
+    } else {
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      w = static_cast<int>(std::min(hw, 8u));
+    }
+  }
+  return std::clamp(w, 1, nranks);
 }
 
 // ---------------------------------------------------------------------------
@@ -39,7 +91,7 @@ RankCtx::RankCtx(Engine* engine, int rank, int size)
   tracing_ = engine_->options().record_trace;
   obs_sink_ = opts.trace_sink != nullptr ? opts.trace_sink : obs::global_sink();
   // The perturbation RNG is deliberately separate from the noise RNG: its
-  // draws only steer host scheduling, so enabling it cannot change any
+  // draws only steer dispatch order, so enabling it cannot change any
   // virtual-time observable.
   perturbing_ = opts.perturb.enabled;
   if (perturbing_) {
@@ -57,6 +109,13 @@ void RankCtx::maybe_perturb() {
       spec.max_sleep_us > 0
           ? perturb_rng_.below(static_cast<std::uint64_t>(spec.max_sleep_us) + 1)
           : 0;
+  if (engine_->sched_ != nullptr) {
+    // Fiber backend: suspend and re-enqueue this rank `us` virtual
+    // microseconds later in dispatch order — peers overtake it, no host time
+    // is burned, and the virtual clock is untouched.
+    engine_->sched_->maybe_yield(rank_, clock_, static_cast<std::uint32_t>(us));
+    return;
+  }
   if (us == 0) {
     std::this_thread::yield();
   } else {
@@ -95,6 +154,7 @@ void RankCtx::advance(double seconds, Activity activity) {
       time_.idle += seconds;
       break;
   }
+  ++events_;
   record_segment(seconds, activity);
   if (obs_sink_ != nullptr) {
     obs::emit_span(*obs_sink_, rank_, "sim", activity_name(activity), clock_ - seconds,
@@ -199,6 +259,7 @@ double RankCtx::set_frequency(double ghz) {
     }
     ghz_ = chosen;
     ++counters_.dvfs_transitions;
+    ++events_;
   }
   return ghz_;
 }
@@ -236,6 +297,7 @@ void RankCtx::send_bytes(int dst, int tag, std::span<const std::byte> payload) {
 
   counters_.messages_sent += 1;
   counters_.bytes_sent += payload.size();
+  ++events_;
   if (same_node) {
     counters_.messages_intra_node += 1;
     counters_.bytes_intra_node += payload.size();
@@ -248,7 +310,7 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
   // Perturb before blocking on the mailbox: a delayed receiver lets senders
   // race ahead, which is the interleaving that stresses tag-range recycling.
   maybe_perturb();
-  Engine::Message msg = engine_->take(rank_, src, tag);
+  Engine::Message msg = engine_->take(rank_, src, tag, clock_);
   // Completion cannot precede the payload's arrival; the gap is receive wait.
   const double wait = std::max(0.0, msg.arrival - clock_);
   advance(wait, Activity::kNetwork);
@@ -285,6 +347,15 @@ struct EngineMetrics {
   obs::Counter& dvfs_transitions = obs::metrics().counter("sim.dvfs_transitions");
   obs::Histogram& run_makespan_s =
       obs::metrics().histogram("sim.run_makespan_s", obs::default_time_buckets_s());
+  // Engine throughput (ISSUE 7): ranks and deterministic engine events
+  // (timeline segments + messages sent + DVFS transitions) are exact sums —
+  // identical for any worker count or --jobs value. rank_seconds_per_sec is
+  // the one deliberately host-timing-dependent value in the registry: the
+  // last run's simulated rank-seconds per host wall-clock second, the
+  // headline number bench/engine_throughput tracks.
+  obs::Counter& ranks_simulated = obs::metrics().counter("engine.ranks_simulated");
+  obs::Counter& events_processed = obs::metrics().counter("engine.events_processed");
+  obs::Gauge& rank_seconds_per_sec = obs::metrics().gauge("engine.rank_seconds_per_sec");
 
   static EngineMetrics& get() {
     static EngineMetrics m;
@@ -304,6 +375,13 @@ Engine::Engine(MachineSpec spec, Options opts) : spec_(std::move(spec)), opts_(o
 }
 
 void Engine::deliver(int dst, int src, int tag, Message msg) {
+  if (sched_ != nullptr) {
+    detail::SimMessage sm;
+    sm.arrival = msg.arrival;
+    sm.payload = std::move(msg.payload);
+    sched_->deliver(dst, src, tag, std::move(sm));
+    return;
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -312,7 +390,14 @@ void Engine::deliver(int dst, int src, int tag, Message msg) {
   box.cv.notify_all();
 }
 
-Engine::Message Engine::take(int dst, int src, int tag) {
+Engine::Message Engine::take(int dst, int src, int tag, double now) {
+  if (sched_ != nullptr) {
+    detail::SimMessage sm = sched_->take(dst, src, tag, now);
+    Message msg;
+    msg.arrival = sm.arrival;
+    msg.payload = std::move(sm.payload);
+    return msg;
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   auto& queue = box.queues[{src, tag}];
@@ -343,6 +428,46 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
                                 std::to_string(spec_.total_cores()) + ")");
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result = opts_.backend == EngineBackend::kThreads
+                         ? run_threads(nranks, body)
+                         : run_fibers(nranks, body);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (wall > 0.0) {
+    EngineMetrics::get().rank_seconds_per_sec.set(
+        result.makespan * static_cast<double>(nranks) / wall);
+  }
+  return result;
+}
+
+RunResult Engine::run_fibers(int nranks, const std::function<void(RankCtx&)>& body) {
+  detail::FiberScheduler::Options sopts;
+  sopts.workers = resolve_engine_workers(opts_.workers, nranks);
+  sopts.stack_bytes = opts_.fiber_stack_bytes;
+  detail::FiberScheduler sched(nranks, sopts);
+
+  std::vector<std::unique_ptr<RankCtx>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    contexts.push_back(std::unique_ptr<RankCtx>(new RankCtx(this, r, nranks)));
+  }
+
+  sched_ = &sched;
+  std::exception_ptr first_error;
+  try {
+    first_error = sched.run(
+        [&](int r) { body(*contexts[static_cast<std::size_t>(r)]); });
+  } catch (...) {
+    sched_ = nullptr;
+    throw;
+  }
+  sched_ = nullptr;
+  if (first_error) std::rethrow_exception(first_error);
+  return aggregate(contexts);
+}
+
+RunResult Engine::run_threads(int nranks, const std::function<void(RankCtx&)>& body) {
   mailboxes_.clear();
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -378,13 +503,20 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
   for (auto& t : threads) t.join();
   mailboxes_.clear();
   if (first_error) std::rethrow_exception(first_error);
+  return aggregate(contexts);
+}
+
+RunResult Engine::aggregate(std::vector<std::unique_ptr<RankCtx>>& contexts) {
+  const int nranks = static_cast<int>(contexts.size());
 
   // The job occupies its partition until the slowest rank finishes; ranks
   // that finish early draw idle power for the remainder (this is what a
-  // PowerPack wall-plug measurement sees).
+  // PowerPack wall-plug measurement sees). Perturbation is switched off for
+  // the padding: the schedule is over, there is nothing left to reorder.
   double makespan = 0.0;
   for (const auto& ctx : contexts) makespan = std::max(makespan, ctx->clock_);
   for (auto& ctx : contexts) {
+    ctx->perturbing_ = false;
     const double pad = makespan - ctx->clock_;
     if (pad > 0.0) ctx->idle(pad);
   }
@@ -392,6 +524,7 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
   RunResult result;
   result.ranks.reserve(static_cast<std::size_t>(nranks));
   if (opts_.record_trace) result.traces.reserve(static_cast<std::size_t>(nranks));
+  std::uint64_t events = 0;
   for (auto& ctx : contexts) {
     RankResult rr;
     rr.time = ctx->time_;
@@ -402,6 +535,7 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
     result.energy.merge(rr.energy);
     result.time.merge(rr.time);
     result.counters.merge(rr.counters);
+    events += ctx->events_;
     if (opts_.record_trace) result.traces.push_back(std::move(ctx->trace_));
     result.ranks.push_back(std::move(rr));
   }
@@ -413,6 +547,8 @@ RunResult Engine::run(int nranks, const std::function<void(RankCtx&)>& body) {
   m.bytes_intra_node.inc(result.counters.bytes_intra_node);
   m.dvfs_transitions.inc(result.counters.dvfs_transitions);
   m.run_makespan_s.observe(result.makespan);
+  m.ranks_simulated.inc(static_cast<std::uint64_t>(nranks));
+  m.events_processed.inc(events);
   return result;
 }
 

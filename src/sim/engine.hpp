@@ -1,6 +1,7 @@
 // Virtual-time cluster simulator.
 //
-// Each simulated MPI rank runs as a host thread with its own *virtual clock*.
+// Each simulated MPI rank runs as a stackful *fiber* with its own virtual
+// clock, multiplexed over a small pool of host worker threads (sim/sched.hpp).
 // Rank code is ordinary C++ calling RankCtx primitives:
 //
 //   ctx.compute(instr)        — advance clock by instr * CPI / f (t_c model)
@@ -17,6 +18,12 @@
 //     Network time (receive wait).
 //   * Matching is FIFO per (source, tag); wildcards are not supported, which
 //     keeps the simulation deterministic regardless of host scheduling.
+//
+// Those three properties are why the engine can parallelize a *single* large
+// simulation across host cores and still be bit-exact: virtual clocks are
+// strictly per rank, so no dispatch order the scheduler (or the worker count)
+// chooses can change any virtual-time observable. EngineOptions::workers is
+// purely a host-performance knob.
 //
 // Because messages carry real payload bytes, application kernels (FFT, CG...)
 // compute real numerics and can be verified against reference results while
@@ -49,6 +56,10 @@ class TraceSink;
 }
 
 namespace isoee::sim {
+
+namespace detail {
+class FiberScheduler;
+}
 
 class Engine;
 
@@ -188,27 +199,61 @@ class RankCtx {
   std::vector<Segment> trace_;
   bool tracing_ = false;
   obs::TraceSink* obs_sink_ = nullptr;
+  // Deterministic engine-event count for this rank (timeline segments +
+  // messages sent + DVFS transitions). Deliberately *not* part of
+  // RankCounters — that struct's layout is serialized into exec::ResultCache
+  // payloads — but summed into the engine.events_processed metric.
+  std::uint64_t events_ = 0;
   // Per-channel message ordinals for flow-event ids (only touched when a
   // sink is installed). Keys: (peer, tag).
   std::map<std::pair<int, int>, std::uint64_t> flow_seq_out_;
   std::map<std::pair<int, int>, std::uint64_t> flow_seq_in_;
 };
 
-/// Host-schedule perturbation (off by default). When enabled, every rank
-/// thread sprinkles seeded random yields/sleeps between simulation
-/// primitives, forcing adversarial host interleavings: senders race whole
-/// collectives ahead of lagging receivers (stressing mailbox buildup and the
-/// TagAllocator recycling window) and composite collectives interleave across
-/// ranks in orders a quiet host never produces. Because virtual time is
-/// derived only from the simulated activity — never from the host clock — a
-/// perturbed run must produce bit-identical results to an unperturbed one;
-/// src/check asserts exactly that.
+/// Scheduler-order perturbation (off by default). When enabled, every rank
+/// sprinkles seeded random reorderings between simulation primitives, forcing
+/// adversarial interleavings: senders race whole collectives ahead of lagging
+/// receivers (stressing mailbox buildup and the TagAllocator recycling
+/// window) and composite collectives interleave across ranks in orders a
+/// quiet schedule never produces.
+///
+/// Under the fiber engine (the default backend) a perturbation suspends the
+/// rank's fiber and re-enqueues it with its dispatch key pushed up to
+/// max_sleep_us *virtual* microseconds later — a pure scheduler reordering
+/// with no host sleeps, so perturbed runs cost the same as quiet ones. Under
+/// the legacy thread backend the old host yield/sleep_for injection is kept.
+/// Either way virtual time derives only from simulated activity — never from
+/// dispatch order or the host clock — so a perturbed run must produce
+/// bit-identical results to an unperturbed one; src/check asserts exactly
+/// that.
 struct PerturbSpec {
   bool enabled = false;
   std::uint64_t seed = 0x7e57ab1eULL;  // drives the per-rank perturbation RNG
   double yield_probability = 0.2;      // chance to disturb at each primitive
-  int max_sleep_us = 50;               // sleep up to this long (0 = yield only)
+  int max_sleep_us = 50;               // reorder horizon (0 = bare yield)
 };
+
+/// Which concurrency substrate Engine::run uses. Results are bit-identical
+/// across backends; only host cost differs.
+enum class EngineBackend {
+  kFibers,   // run-to-completion fibers over a worker pool (default)
+  kThreads,  // legacy one-OS-thread-per-rank engine, kept as the reference
+             // implementation for differential tests and as the baseline
+             // that bench/engine_throughput measures speedup against
+};
+
+/// Resolves an EngineOptions::workers request to a concrete worker count for
+/// an nranks-rank job: explicit requests are clamped to [1, nranks]; 0 defers
+/// to set_default_engine_workers(), then the ISOEE_ENGINE_WORKERS environment
+/// variable, then an automatic policy (1 worker for small jobs, where fiber
+/// switching beats cv traffic; up to min(hardware threads, 8) for large ones).
+int resolve_engine_workers(int requested, int nranks);
+
+/// Process-wide default for EngineOptions::workers == 0 (0 = automatic).
+/// Overrides the ISOEE_ENGINE_WORKERS environment variable; CLI layers (e.g.
+/// bench --engine-workers) call this once at startup.
+void set_default_engine_workers(int workers);
+int default_engine_workers();
 
 /// Engine construction options.
 struct EngineOptions {
@@ -220,17 +265,30 @@ struct EngineOptions {
   /// Used to validate the heterogeneous model extension (model/hetero.hpp).
   std::vector<double> per_rank_ghz;
 
-  /// Host-schedule perturbation injector (see PerturbSpec). Simulation
+  /// Concurrency substrate; see EngineBackend. Fibers unless a test or bench
+  /// explicitly asks for the thread-per-rank reference engine.
+  EngineBackend backend = EngineBackend::kFibers;
+
+  /// Host worker threads multiplexing the rank fibers (fiber backend only).
+  /// 0 = resolve automatically (see resolve_engine_workers). Any value gives
+  /// bit-identical results; this knob trades host cores for wall-clock.
+  int workers = 0;
+
+  /// Per-fiber stack bytes (fiber backend only; 0 = Fiber default).
+  std::size_t fiber_stack_bytes = 0;
+
+  /// Scheduler-order perturbation injector (see PerturbSpec). Simulation
   /// results are independent of it by construction; it exists to let tests
-  /// stress determinism under adversarial thread interleavings.
+  /// stress determinism under adversarial dispatch interleavings.
   PerturbSpec perturb;
 
-  /// Streaming segment observer, invoked on the rank's own thread immediately
-  /// after every timeline segment completes (independently of record_trace).
-  /// This is the sensor feed for online controllers (powerpack streaming
-  /// sampler -> governor): the observer may call ctx.set_frequency() to react,
-  /// but must not invoke clock-advancing primitives (compute/memory/io/
-  /// send/recv) — the rank is mid-primitive when it fires.
+  /// Streaming segment observer, invoked on the rank's own execution context
+  /// immediately after every timeline segment completes (independently of
+  /// record_trace). This is the sensor feed for online controllers (powerpack
+  /// streaming sampler -> governor): the observer may call
+  /// ctx.set_frequency() to react, but must not invoke clock-advancing
+  /// primitives (compute/memory/io/send/recv) — the rank is mid-primitive
+  /// when it fires.
   std::function<void(RankCtx&, const Segment&)> on_segment;
 
   /// Per-engine trace sink (see src/obs): when set, every rank emits segment
@@ -249,9 +307,9 @@ class Engine {
 
   explicit Engine(MachineSpec spec, Options opts = Options());
 
-  /// Runs `body` on `nranks` simulated ranks (host threads) to completion and
-  /// returns aggregated results. Throws if nranks exceeds the machine's cores
-  /// or if any rank body throws.
+  /// Runs `body` on `nranks` simulated ranks to completion and returns
+  /// aggregated results. Throws if nranks exceeds the machine's cores or if
+  /// any rank body throws.
   RunResult run(int nranks, const std::function<void(RankCtx&)>& body);
 
   const MachineSpec& machine() const { return spec_; }
@@ -269,7 +327,9 @@ class Engine {
     std::vector<std::byte> payload;
   };
 
-  /// Per-destination mailbox; FIFO queues keyed by (src, tag).
+  /// Per-destination mailbox of the legacy thread backend; FIFO queues keyed
+  /// by (src, tag). (The fiber backend's sharded mailboxes live in the
+  /// scheduler — sim/sched.hpp.)
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
@@ -277,13 +337,18 @@ class Engine {
     bool poisoned = false;  // a rank died; empty receives throw RankAbandoned
   };
 
+  RunResult run_fibers(int nranks, const std::function<void(RankCtx&)>& body);
+  RunResult run_threads(int nranks, const std::function<void(RankCtx&)>& body);
+  RunResult aggregate(std::vector<std::unique_ptr<RankCtx>>& contexts);
+
   void deliver(int dst, int src, int tag, Message msg);
-  Message take(int dst, int src, int tag);
+  Message take(int dst, int src, int tag, double now);
   void poison_all();
 
   MachineSpec spec_;
   Options opts_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;   // thread backend only
+  detail::FiberScheduler* sched_ = nullptr;           // non-null during a fiber run
 };
 
 }  // namespace isoee::sim

@@ -1,0 +1,147 @@
+// Run-to-completion fiber scheduler: the concurrency core of the engine.
+//
+// Every simulated rank is a stackful fiber (fiber.hpp) pinned to one of a
+// small pool of OS worker threads (rank r belongs to worker r % W). A fiber
+// runs until it *blocks* — a receive whose message has not arrived — then the
+// worker switches to the next ready fiber of its shard. Within a shard, ready
+// fibers are dispatched in deterministic virtual-time order: smallest rank
+// virtual clock first, ties to the lowest rank id.
+//
+// Mailboxes are sharded per rank (one fine-grained lock each, FIFO queues
+// keyed by (src, tag)); queue storage is dense and reused across channels so
+// steady-state messaging allocates only the payload buffer itself. Delivery
+// to a blocked rank re-enqueues it on its owner worker's inbox and wakes that
+// worker. Because virtual clocks are strictly per rank, message matching is
+// FIFO per channel, and wildcards do not exist, *every* dispatch order yields
+// bit-identical results — worker count and perturbation change only host
+// execution order, never a virtual-time observable. (src/check's perturbed
+// and cross-worker digest oracles assert exactly this.)
+//
+// Failure protocol: the first rank body to throw records the root-cause
+// exception and poisons every mailbox; blocked peers are re-enqueued, drain
+// any messages that already arrived, then unwind with RankAbandoned. The
+// scheduler also detects true deadlock (all live ranks blocked, nothing
+// ready anywhere) and converts the forever-hang of the old thread engine
+// into a thrown error. All fibers are always driven to completion — unwound
+// or finished — before run() returns, so no fiber stack ever leaks.
+//
+// Perturbation: maybe_yield() implements PerturbSpec under the fiber engine —
+// a seeded *virtual-scheduler* reordering. The yielding fiber is re-enqueued
+// with its dispatch key pushed `delay_us` virtual microseconds into the
+// future, letting peers (e.g. racing senders) overtake it. No host sleeps:
+// perturbed runs cost the same as quiet ones and still stress mailbox
+// buildup and tag recycling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace isoee::sim::detail {
+
+/// One in-flight simulated message (payload + virtual arrival time).
+struct SimMessage {
+  double arrival = 0.0;
+  std::vector<std::byte> payload;
+};
+
+class FiberScheduler {
+ public:
+  struct Options {
+    int workers = 1;                // OS threads multiplexing the fibers
+    std::size_t stack_bytes = 0;    // per-fiber stack; 0 = Fiber default
+  };
+
+  /// Statistics of one scheduled run (summed over workers).
+  struct Stats {
+    std::uint64_t dispatches = 0;   // fiber resumes (starts + wakeups + yields)
+    std::uint64_t messages = 0;     // deliveries through the mailboxes
+  };
+
+  FiberScheduler(int nranks, Options opts);
+  ~FiberScheduler();
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Runs `body(rank)` for every rank on the worker pool, to completion.
+  /// Returns the first (root-cause) exception, or nullptr on success. Every
+  /// fiber is guaranteed to have finished or fully unwound on return.
+  std::exception_ptr run(const std::function<void(int)>& body);
+
+  const Stats& stats() const { return stats_; }
+
+  // --- primitives called from rank fibers -----------------------------------
+
+  /// Blocking FIFO receive on (src, tag). `now` is the rank's current virtual
+  /// clock, used as the dispatch key if the fiber must block. Throws
+  /// RankAbandoned if the mailbox is poisoned and the channel is empty.
+  SimMessage take(int rank, int src, int tag, double now);
+
+  /// Delivers a message into dst's mailbox, waking dst if it blocks on
+  /// exactly this channel.
+  void deliver(int dst, int src, int tag, SimMessage msg);
+
+  /// Seeded scheduler-order perturbation: suspends the calling rank and
+  /// re-enqueues it `delay_us` virtual microseconds later in dispatch order.
+  void maybe_yield(int rank, double now, std::uint32_t delay_us);
+
+ private:
+  struct ReadyItem {
+    double key = 0.0;  // dispatch order: rank virtual clock (+ perturb delay)
+    int rank = 0;
+  };
+
+  struct RankSlot;
+  struct Worker;
+
+  static std::uint64_t channel_key(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  void worker_loop(int w);
+  void dispatch(Worker& wk, int rank);
+  void enqueue_ready(int rank, double key);
+  void suspend(RankSlot& slot);
+  void poison_all();
+  void stop_all();
+  void on_idle(Worker& wk);
+  [[noreturn]] static void fiber_main(void* arg);
+
+  void record_deadlock();
+
+  int nranks_;
+  Options opts_;
+  // One-worker runs (the common case: hundreds of small study cases, where
+  // exec::run_batch parallelizes across cases instead) execute the whole
+  // schedule on the calling thread, so every mailbox lock, inbox hand-off,
+  // and cv wakeup is skipped — deliveries push straight into the lone
+  // worker's ready heap.
+  bool single_ = true;
+  const std::function<void(int)>* body_ = nullptr;
+  std::vector<std::unique_ptr<RankSlot>> slots_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+
+  std::mutex idle_mu_;              // guards idle bookkeeping + deadlock check
+  int idle_workers_ = 0;
+  std::atomic<int> done_count_{0};
+  std::atomic<std::uint64_t> ready_total_{0};  // enqueued, not yet dispatched
+  std::atomic<bool> stop_{false};
+
+  Stats stats_;
+};
+
+}  // namespace isoee::sim::detail

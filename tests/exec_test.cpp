@@ -1,7 +1,9 @@
 // Tests for src/exec: the batch case executor and the content-addressed
 // result cache, plus the cross-layer guarantees that justify them —
 //   * results in submission order, bit-identical for every thread budget;
-//   * host-thread budgeting (sum of running nranks never exceeds the pool);
+//   * host-thread budgeting (sum of declared case costs never exceeds the
+//     pool; since the fiber rearchitecture an engine case costs its resolved
+//     scheduler worker count, not nranks);
 //   * a TSan-targeted stress run: oversubscribed pool, mixed-nranks engine
 //     cases, and an injected mid-case throw that must not deadlock (the
 //     engine poisons mailboxes so abandoned peers unwind);
@@ -185,6 +187,51 @@ TEST(RunBatch, CaseWiderThanTheBudgetRunsAloneInsteadOfDeadlocking) {
   EXPECT_EQ(results[1].payload, "a");
   EXPECT_EQ(results[2].payload, "b");
   EXPECT_LE(stats.max_threads_in_use, 4);  // the wide case's cost clamps
+}
+
+TEST(RunBatch, EngineCaseCostIsResolvedWorkersNotRanks) {
+  // Budget doctrine since the fiber rearchitecture: a simulation case
+  // declares the scheduler worker count the engine will actually use — a
+  // handful of host threads — not nranks. Explicit requests clamp to
+  // [1, nranks]; the automatic policy stays far below wide rank counts.
+  EXPECT_EQ(sim::resolve_engine_workers(6, 4), 4);
+  EXPECT_EQ(sim::resolve_engine_workers(3, 1024), 3);
+  EXPECT_EQ(sim::resolve_engine_workers(-2, 1024), 1);
+  const int w = sim::resolve_engine_workers(0, 1024);
+  EXPECT_GE(w, 1);
+  EXPECT_LE(w, 8);  // auto policy: min(hardware, 8), never anywhere near p
+
+  // Under the old nranks-cost doctrine a p=1024 case clamped to the whole
+  // budget and ran alone; with worker-count costs a default budget admits
+  // several wide cases at once (checked when the resolved cost allows it).
+  constexpr int kBudget = 4;
+  if (2 * w <= kBudget) {
+    std::atomic<int> running{0};
+    std::atomic<int> peak_cases{0};
+    std::vector<exec::Case> cases;
+    for (int i = 0; i < 6; ++i) {
+      exec::Case c;
+      c.threads = w;  // what study/service/check declare for a p=1024 case
+      c.run = [&]() -> std::string {
+        const int now = running.fetch_add(1) + 1;
+        int seen = peak_cases.load();
+        while (now > seen && !peak_cases.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        running.fetch_sub(1);
+        return std::string();
+      };
+      cases.push_back(std::move(c));
+    }
+    exec::BatchStats stats;
+    exec::BatchOptions opts;
+    opts.thread_budget = kBudget;
+    opts.stats = &stats;
+    const auto results = exec::run_batch(cases, opts);
+    for (const auto& r : results) EXPECT_TRUE(r.ok());
+    EXPECT_GE(peak_cases.load(), 2);  // wide cases genuinely overlapped
+    EXPECT_LE(stats.max_threads_in_use, kBudget);
+  }
 }
 
 TEST(RunBatch, ThrowingCaseIsRecordedAndOthersComplete) {

@@ -441,7 +441,9 @@ TEST(Endpoints, StatsReportsCountersAndRunsStarted) {
   const auto* result = v.find("result");
   for (const char* key : {"runs_started", "requests", "errors", "tier_model", "tier_cache",
                           "tier_sim", "coalesced", "rejected", "cache_hits",
-                          "cache_misses", "cache_stores", "cache_pruned"}) {
+                          "cache_misses", "cache_stores", "cache_pruned",
+                          "engine_ranks_simulated", "engine_events_processed",
+                          "engine_rank_seconds_per_sec"}) {
     EXPECT_NE(result->find(key), nullptr) << key;
   }
   EXPECT_GE(result->find("tier_model")->number, 1.0);

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/fiber.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -474,6 +479,172 @@ TEST_P(EngineScaling, EnergyGrowsWithRanksForFixedPerRankWork) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, EngineScaling, ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+// --- fiber engine at scale -----------------------------------------------------
+//
+// ISSUE 7 acceptance tests: thousand-rank jobs on the fiber scheduler, with
+// RunResult + trace digests byte-identical for every worker count, failure
+// unwinding that leaks no fiber stacks, and cross-backend equality against
+// the legacy thread-per-rank reference engine.
+
+MachineSpec scale_machine() {
+  MachineSpec m = tiny_machine();
+  m.name = "tiny_4k";
+  m.nodes = 512;  // 512 x 2 x 4 = 4096 core slots
+  return m;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Bit-exact digest of everything a RunResult observes: per-rank wall clock,
+/// energy, alpha, counters, and (when traced) every Segment field. Two runs
+/// digest equal iff the simulations were byte-identical.
+std::uint64_t digest_result(const sim::RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, &r.makespan, sizeof(r.makespan));
+  h = fnv1a(h, &r.energy.total, sizeof(double));
+  for (const sim::RankResult& rr : r.ranks) {
+    h = fnv1a(h, &rr.time.total, sizeof(double));
+    h = fnv1a(h, &rr.energy.total, sizeof(double));
+    h = fnv1a(h, &rr.alpha, sizeof(double));
+    h = fnv1a(h, &rr.counters, sizeof(sim::RankCounters));
+  }
+  for (const auto& trace : r.traces) {
+    for (const sim::Segment& s : trace) {
+      h = fnv1a(h, &s.start, sizeof(double));
+      h = fnv1a(h, &s.duration, sizeof(double));
+      const int act = static_cast<int>(s.activity);
+      h = fnv1a(h, &act, sizeof(act));
+      h = fnv1a(h, &s.ghz, sizeof(double));
+    }
+  }
+  return h;
+}
+
+std::function<void(RankCtx&)> scale_ring_body(int p, int iters) {
+  return [p, iters](RankCtx& ctx) {
+    const int next = (ctx.rank() + 1) % p;
+    const int prev = (ctx.rank() + p - 1) % p;
+    double token[2] = {static_cast<double>(ctx.rank()), 0.0};
+    for (int i = 0; i < iters; ++i) {
+      ctx.compute(1000 + 10 * static_cast<std::uint64_t>(ctx.rank() % 7));
+      ctx.send(next, i % 5, std::span<const double>(token));
+      ctx.recv(prev, i % 5, std::span<double>(token));
+    }
+  };
+}
+
+TEST(EngineScale, RingAtP1024DigestsIdenticalAcrossWorkerCounts) {
+  const MachineSpec m = scale_machine();
+  std::uint64_t reference = 0;
+  for (const int workers : {1, 2, 8}) {
+    sim::EngineOptions opts;
+    opts.record_trace = true;
+    opts.workers = workers;
+    Engine eng(m, opts);
+    const auto res = eng.run(1024, scale_ring_body(1024, 10));
+    ASSERT_EQ(res.ranks.size(), 1024u);
+    EXPECT_GT(res.makespan, 0.0);
+    const std::uint64_t d = digest_result(res);
+    if (reference == 0) {
+      reference = d;
+    } else {
+      EXPECT_EQ(d, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(EngineScale, AllreduceAtP1024DigestsIdenticalAcrossWorkerCounts) {
+  // Recursive-doubling butterfly, hand-rolled so this stays a sim-layer test:
+  // log2(p) rounds of pairwise exchange — heavy cross-shard traffic at every
+  // distance, the pattern most likely to expose dispatch-order sensitivity.
+  const auto body = [](RankCtx& ctx) {
+    const int p = ctx.size();
+    double acc[4] = {static_cast<double>(ctx.rank()), 1.0, 2.0, 3.0};
+    for (int dist = 1; dist < p; dist <<= 1) {
+      const int peer = ctx.rank() ^ dist;
+      double in[4];
+      ctx.send(peer, dist % 7, std::span<const double>(acc));
+      ctx.recv(peer, dist % 7, std::span<double>(in));
+      for (int k = 0; k < 4; ++k) acc[k] += in[k];
+    }
+    ctx.compute(500);
+  };
+  const MachineSpec m = scale_machine();
+  std::uint64_t reference = 0;
+  for (const int workers : {1, 2, 8}) {
+    sim::EngineOptions opts;
+    opts.record_trace = true;
+    opts.workers = workers;
+    Engine eng(m, opts);
+    const auto res = eng.run(1024, body);
+    const std::uint64_t d = digest_result(res);
+    if (reference == 0) {
+      reference = d;
+    } else {
+      EXPECT_EQ(d, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(EngineScale, RingAtP4096CompletesAndIsRepeatable) {
+  const MachineSpec m = scale_machine();
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  Engine a(m, opts), b(m, opts);
+  const auto r1 = a.run(4096, scale_ring_body(4096, 5));
+  const auto r2 = b.run(4096, scale_ring_body(4096, 5));
+  ASSERT_EQ(r1.ranks.size(), 4096u);
+  EXPECT_GT(r1.makespan, 0.0);
+  EXPECT_EQ(digest_result(r1), digest_result(r2));
+}
+
+TEST(EngineScale, FiberAndThreadBackendsAgreeBitForBit) {
+  const MachineSpec m = scale_machine();
+  sim::EngineOptions fib;
+  fib.record_trace = true;
+  fib.backend = sim::EngineBackend::kFibers;
+  sim::EngineOptions thr = fib;
+  thr.backend = sim::EngineBackend::kThreads;
+  Engine ef(m, fib), et(m, thr);
+  const auto rf = ef.run(128, scale_ring_body(128, 20));
+  const auto rt = et.run(128, scale_ring_body(128, 20));
+  EXPECT_EQ(digest_result(rf), digest_result(rt));
+}
+
+TEST(EngineScale, RankFailureAtP1024UnwindsAndLeaksNoFiberStacks) {
+  const MachineSpec m = scale_machine();
+  const auto failing = [](RankCtx& ctx) {
+    if (ctx.rank() == 777) throw std::runtime_error("injected at scale");
+    // Everyone else blocks on a message only their predecessor can send;
+    // rank 778's predecessor is the dead rank, so the whole ring must be
+    // unwound via mailbox poisoning rather than finishing normally.
+    double buf[1];
+    ctx.recv((ctx.rank() + 1023) % 1024, 1, std::span<double>(buf));
+  };
+  const auto run_once = [&] {
+    sim::EngineOptions opts;
+    opts.workers = 2;
+    Engine eng(m, opts);
+    EXPECT_THROW(eng.run(1024, failing), std::runtime_error);
+  };
+  run_once();
+  // Steady state: every subsequent run returns exactly as many pooled stacks
+  // as it borrowed. A leaked (never-unwound) fiber would make the pool level
+  // drop run over run. (Under sanitizers the pool is compiled out and both
+  // readings are 0 — the unwind itself is still exercised above.)
+  const std::size_t level_after_first = sim::detail::Fiber::pooled_stacks();
+  run_once();
+  const std::size_t level_after_second = sim::detail::Fiber::pooled_stacks();
+  EXPECT_EQ(level_after_first, level_after_second);
+}
 
 // --- misc engine surface ---------------------------------------------------------
 
