@@ -24,6 +24,9 @@
 //                    run's Chrome trace (virtual time) to F at exit
 //   --metrics-out=F  write the obs metrics snapshot to F at exit (.json or
 //                    .csv, chosen by extension)
+//   --flame-out=F    sample the fiber scheduler's host time (SchedProfiler)
+//                    and write collapsed stacks to F at exit; inspect with
+//                    `trace_stats --flame` or flamegraph.pl
 //
 // The log level honours the ISOEE_LOG environment variable ("trace" ...
 // "off"); bench::init applies it before any subsystem can log.
@@ -38,6 +41,7 @@
 #include "analysis/surface.hpp"
 #include "exec/executor.hpp"
 #include "obs/obs.hpp"
+#include "obs/sched_profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
 #include "util/cli.hpp"
@@ -75,6 +79,10 @@ inline std::string& metrics_out() {
   static std::string path;
   return path;
 }
+inline std::string& flame_out() {
+  static std::string path;
+  return path;
+}
 
 /// atexit hook: flush the --trace-out / --metrics-out artifacts once the
 /// bench main returns (covers std::exit paths in emit() too).
@@ -98,6 +106,15 @@ inline void write_observability_artifacts() {
       std::printf("[metrics] %s\n", path.c_str());
     } else {
       ISOEE_ERROR("failed to write --metrics-out %s", path.c_str());
+    }
+  }
+  if (!flame_out().empty()) {
+    obs::sched_profiler().stop();
+    if (obs::sched_profiler().write_collapsed(flame_out())) {
+      std::printf("[flame] %s (%llu samples)\n", flame_out().c_str(),
+                  static_cast<unsigned long long>(obs::sched_profiler().total_samples()));
+    } else {
+      ISOEE_ERROR("failed to write --flame-out %s", flame_out().c_str());
     }
   }
 }
@@ -124,7 +141,11 @@ inline bool init(int argc, const char* const* argv) {
       .flag("cache-dir", "", "result-cache directory (empty = caching off)")
       .flag("cache-max-mb", "0", "result-cache size cap in MiB, oldest entries pruned (0 = unbounded)")
       .flag("trace-out", "", "write a Chrome trace of the run to this file")
-      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file");
+      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file")
+      .flag("flame-out", "",
+            "sample the fiber scheduler's host time and write collapsed stacks "
+            "(flamegraph.pl format) to this file")
+      .flag("flame-interval-us", "500", "scheduler-profiler sampling period, microseconds");
   if (!cli.parse(argc, argv)) return false;
   detail::csv_dir() = cli.get("csv-dir");
   const std::string seed = cli.get("seed");
@@ -139,10 +160,17 @@ inline bool init(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("cache-max-mb")) * (1ull << 20);
   detail::trace_out() = cli.get("trace-out");
   detail::metrics_out() = cli.get("metrics-out");
+  detail::flame_out() = cli.get("flame-out");
   if (!detail::trace_out().empty()) {
     obs::set_global_sink(&detail::trace_collector());
   }
-  if (!detail::trace_out().empty() || !detail::metrics_out().empty()) {
+  if (!detail::flame_out().empty()) {
+    obs::SchedProfiler::Options prof;
+    prof.interval_us = static_cast<std::uint64_t>(cli.get_int("flame-interval-us"));
+    obs::sched_profiler().start(prof);
+  }
+  if (!detail::trace_out().empty() || !detail::metrics_out().empty() ||
+      !detail::flame_out().empty()) {
     std::atexit(detail::write_observability_artifacts);
   }
 

@@ -19,6 +19,12 @@
 //     sim.runs_started via the stats endpoint);
 //   * a warm rerun of every measured query answers 100% from the cache tier
 //     with byte-identical result fragments;
+//   * the `metrics` endpoint's service.latency_s.<method>.<tier> histograms
+//     are well formed: cumulative bucket counts non-decreasing in le order,
+//     the +Inf bucket equal to _count, and every method that appeared in the
+//     stream has at least one family;
+//   * the `stats` endpoint reports model_health "ok" — clean traffic against
+//     an unperturbed model must never trip the drift watchdog;
 //   * optionally (--assert-p99-ms) the model tier's p99 stays under a bound.
 //
 // Exits nonzero on any violated invariant, so CI can gate on it.
@@ -27,8 +33,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <map>
+#include <set>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -234,6 +243,63 @@ int fail(const char* what) {
   return 1;
 }
 
+// --- metrics-endpoint verification ----------------------------------------
+
+/// One latency-histogram family reassembled from the metrics snapshot:
+/// cumulative bucket counts keyed by le bound (+Inf = infinity), plus the
+/// family's _count row.
+struct HistogramFamily {
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // (le, cumulative)
+  std::uint64_t count = 0;
+  bool have_count = false;
+};
+
+/// Groups the `metrics` response's service.latency_s.* rows into families.
+/// Row names follow MetricsRegistry::snapshot(): `<family>_bucket{le="X"}`,
+/// `<family>_sum`, `<family>_count`.
+std::map<std::string, HistogramFamily> latency_families(Transport& transport) {
+  const std::string response = transport.send(R"({"method":"metrics"})");
+  const benchtools::JsonValue doc = benchtools::parse_json(response);
+  const benchtools::JsonValue* result = doc.find("result");
+  if (result == nullptr || !result->is(benchtools::JsonValue::Type::kObject)) {
+    throw std::runtime_error("metrics response has no result object");
+  }
+  std::map<std::string, HistogramFamily> families;
+  const std::string prefix = "service.latency_s.";
+  for (const auto& [name, value] : result->object) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const benchtools::JsonValue* v = value.find("value");
+    const double num = v != nullptr ? v->number : 0.0;
+    if (const std::size_t b = name.find("_bucket{le=\""); b != std::string::npos) {
+      const std::size_t start = b + 12;
+      const std::size_t end = name.find('"', start);
+      if (end == std::string::npos) continue;
+      const std::string le = name.substr(start, end - start);
+      const double bound = le == "+Inf" ? std::numeric_limits<double>::infinity()
+                                        : std::strtod(le.c_str(), nullptr);
+      families[name.substr(0, b)].buckets.emplace_back(
+          bound, static_cast<std::uint64_t>(num));
+    } else if (name.size() > 6 && name.rfind("_count") == name.size() - 6) {
+      HistogramFamily& fam = families[name.substr(0, name.size() - 6)];
+      fam.count = static_cast<std::uint64_t>(num);
+      fam.have_count = true;
+    }
+  }
+  for (auto& [name, fam] : families) {
+    std::sort(fam.buckets.begin(), fam.buckets.end());
+  }
+  return families;
+}
+
+std::string stats_model_health(Transport& transport) {
+  const std::string response = transport.send(R"({"method":"stats"})");
+  const benchtools::JsonValue doc = benchtools::parse_json(response);
+  const benchtools::JsonValue* result = doc.find("result");
+  const benchtools::JsonValue* health = result ? result->find("model_health") : nullptr;
+  if (health == nullptr) throw std::runtime_error("stats response missing model_health");
+  return health->str;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,7 +316,8 @@ int main(int argc, char** argv) {
       .flag("csv-dir", "bench_out", "directory for the latency and digest CSVs")
       .flag("verify", "false", "assert coalescing + warm-cache invariants; exit 1 on failure")
       .flag("assert-p99-ms", "0", "fail if model-tier p99 exceeds this many ms (0 = off)")
-      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file");
+      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file")
+      .flag("prom-out", "", "write a Prometheus text exposition snapshot to this file");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -451,6 +518,60 @@ int main(int argc, char** argv) {
       std::printf("verify: no cache configured; skipping warm-rerun invariant\n");
     }
 
+    // Invariant 3: the request-telemetry histograms are well formed. Every
+    // cumulative bucket sequence must be non-decreasing in le order with the
+    // +Inf bucket equal to the family's _count, and every method the stream
+    // exercised must have produced at least one (method, tier) family.
+    {
+      const std::unique_ptr<Transport> transport = make_transport();
+      const auto families = latency_families(*transport);
+      std::size_t rows = 0;
+      for (const auto& [name, fam] : families) {
+        if (fam.buckets.empty()) {
+          rc = fail("latency family has no buckets");
+          continue;
+        }
+        std::uint64_t prev = 0;
+        for (const auto& [le, cum] : fam.buckets) {
+          if (cum < prev) rc = fail("latency histogram buckets not monotone");
+          prev = cum;
+          ++rows;
+        }
+        if (!std::isinf(fam.buckets.back().first)) {
+          rc = fail("latency histogram missing the +Inf bucket");
+        }
+        if (!fam.have_count || fam.buckets.back().second != fam.count) {
+          rc = fail("latency histogram +Inf bucket disagrees with _count");
+        }
+      }
+      std::set<std::string> methods_seen;
+      for (const Sample& s : samples) {
+        // The pool's "measured" label is a reporting bucket; on the wire it
+        // is a predict, which is what the telemetry keys on.
+        methods_seen.insert(s.method == "measured" ? "predict" : s.method);
+      }
+      for (const std::string& method : methods_seen) {
+        bool found = false;
+        for (const auto& [name, fam] : families) {
+          if (name.rfind("service.latency_s." + method + ".", 0) == 0) found = true;
+        }
+        if (!found) rc = fail("stream method has no latency-histogram family");
+      }
+      std::printf("verify: %zu latency families (%zu bucket rows) monotone\n",
+                  families.size(), rows);
+    }
+
+    // Invariant 4: clean traffic never trips the drift watchdog. The stream's
+    // measured queries feed (prediction, simulated actual) pairs into
+    // obs::DriftMonitor; against an unperturbed model those errors must stay
+    // under the degradation threshold.
+    {
+      const std::unique_ptr<Transport> transport = make_transport();
+      const std::string health = stats_model_health(*transport);
+      std::printf("verify: model_health = %s\n", health.c_str());
+      if (health != "ok") rc = fail("clean run reports degraded model_health");
+    }
+
     const double bound_ms = cli.get_double("assert-p99-ms");
     if (bound_ms > 0) {
       std::vector<double> model_lats;
@@ -472,6 +593,9 @@ int main(int argc, char** argv) {
     const bool ok =
         is_json ? obs::metrics().write_json(path) : obs::metrics().write_csv(path);
     if (ok) std::printf("[metrics] %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get("prom-out"); !path.empty()) {
+    if (obs::metrics().write_prometheus(path)) std::printf("[prom] %s\n", path.c_str());
   }
   return rc;
 }

@@ -5,6 +5,7 @@
 
 #include "exec/cache.hpp"
 #include "exec/codec.hpp"
+#include "obs/drift.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -480,6 +481,14 @@ ValidationPoint EnergyStudy::validate(double n, int p, double f_ghz) const {
   point.predicted_j = energy.Ep;
   point.predicted_s = perf.Tp;
   point.error_pct = util::ape(point.actual_j, point.predicted_j);
+
+  // Every validation pair feeds the always-on model-drift watchdog (cache
+  // hits included: the prediction may have changed since the actual was
+  // cached, which is exactly the drift we want to see).
+  obs::drift().record({machine_.name, point.benchmark, p, point.f_ghz, "energy_j"},
+                      point.predicted_j, point.actual_j);
+  obs::drift().record({machine_.name, point.benchmark, p, point.f_ghz, "time_s"},
+                      point.predicted_s, point.actual_s);
   return point;
 }
 

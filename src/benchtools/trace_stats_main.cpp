@@ -129,6 +129,70 @@ void print_metrics_file(const std::string& path) {
   std::printf("\nmetrics snapshot (%s)\n%s", path.c_str(), table.to_string().c_str());
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// --flame: report (or, with --validate, just check) collapsed-stack files
+/// emitted by the fiber-scheduler host-time profiler (bench --flame-out /
+/// ISOEE_SCHED_PROFILE_US).
+int flame_mode(const std::vector<std::string>& paths, bool validate) {
+  int bad = 0;
+  for (const auto& path : paths) {
+    std::vector<isoee::benchtools::CollapsedLine> lines;
+    std::vector<std::string> problems;
+    try {
+      lines = isoee::benchtools::parse_collapsed(read_file(path));
+      problems = isoee::benchtools::validate_collapsed(lines);
+    } catch (const std::exception& e) {
+      problems.push_back(e.what());
+    }
+    if (!problems.empty()) {
+      ++bad;
+      std::printf("%s: INVALID\n", path.c_str());
+      for (const auto& p : problems) std::printf("  %s\n", p.c_str());
+      continue;
+    }
+    std::uint64_t total = 0;
+    for (const auto& l : lines) total += l.samples;
+    std::printf("%s: OK (%zu stacks, %llu samples)\n", path.c_str(), lines.size(),
+                static_cast<unsigned long long>(total));
+    if (validate) continue;
+
+    const auto share = [total](std::uint64_t n) {
+      return total > 0 ? 100.0 * static_cast<double>(n) / static_cast<double>(total) : 0.0;
+    };
+    isoee::util::Table phases({"phase", "samples", "share_pct"});
+    for (const auto& [name, n] : isoee::benchtools::collapsed_by_depth(lines, 2)) {
+      phases.add_row({name, isoee::util::num(static_cast<long long>(n)),
+                      isoee::util::num(share(n), 2)});
+    }
+    print_section("scheduler phases (host time)", phases);
+
+    isoee::util::Table workers({"worker", "samples", "share_pct"});
+    for (const auto& [name, n] : isoee::benchtools::collapsed_by_depth(lines, 1)) {
+      workers.add_row({name, isoee::util::num(static_cast<long long>(n)),
+                       isoee::util::num(share(n), 2)});
+    }
+    print_section("workers", workers);
+
+    isoee::util::Table ranks({"rank_frame", "samples", "share_pct"});
+    int shown = 0;
+    for (const auto& [name, n] : isoee::benchtools::collapsed_by_depth(lines, 3)) {
+      if (name.empty() || shown >= 10) continue;
+      ranks.add_row({name, isoee::util::num(static_cast<long long>(n)),
+                     isoee::util::num(share(n), 2)});
+      ++shown;
+    }
+    if (shown > 0) print_section("hottest fiber_run ranks (top 10)", ranks);
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 int validate_only(const std::vector<std::string>& paths) {
   int bad = 0;
   for (const auto& path : paths) {
@@ -154,10 +218,25 @@ int main(int argc, char** argv) {
   cli.flag("machine", "auto", "power model: system_g | dori | auto (trace metadata)")
       .flag("validate", "false", "structural validation only; exit 1 when invalid")
       .flag("csv", "", "also write report tables under this path prefix")
-      .flag("metrics", "", "also report a --metrics-out snapshot (engine.* first)");
+      .flag("metrics", "", "also report a --metrics-out snapshot (engine.* first)")
+      .flag("flame", "false",
+            "positionals are collapsed-stack .folded files from the scheduler "
+            "profiler; report (or --validate) them");
   if (!cli.parse(argc, argv)) return 2;
 
   const auto& paths = cli.positional();
+  if (cli.get_bool("flame")) {
+    if (paths.empty()) {
+      std::fprintf(stderr, "%s\n", cli.usage().c_str());
+      return 2;
+    }
+    try {
+      return flame_mode(paths, cli.get_bool("validate"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_stats: %s\n", e.what());
+      return 1;
+    }
+  }
   if (paths.empty() || paths.size() > 2) {
     std::fprintf(stderr, "%s\n", cli.usage().c_str());
     return 2;

@@ -477,4 +477,117 @@ sim::MachineSpec machine_for_trace(const std::string& name, const LoadedTrace& t
                               "' (expected system_g, dori, or auto)");
 }
 
+// --- collapsed stacks (flamegraphs) ----------------------------------------
+
+std::vector<CollapsedLine> parse_collapsed(std::string_view text) {
+  std::vector<CollapsedLine> out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(pos, eol == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const auto where = [line_no] { return "collapsed line " + std::to_string(line_no); };
+
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp == 0 || sp + 1 == line.size()) {
+      throw std::runtime_error(where() + ": expected '<stack> <count>'");
+    }
+    const std::string count_str(line.substr(sp + 1));
+    char* end = nullptr;
+    const unsigned long long count = std::strtoull(count_str.c_str(), &end, 10);
+    if (end == count_str.c_str() || *end != '\0' || count == 0) {
+      throw std::runtime_error(where() + ": count '" + count_str +
+                               "' is not a positive integer");
+    }
+    CollapsedLine cl;
+    cl.samples = count;
+    std::string_view stack = line.substr(0, sp);
+    while (true) {
+      const std::size_t semi = stack.find(';');
+      const std::string_view frame =
+          semi == std::string_view::npos ? stack : stack.substr(0, semi);
+      if (frame.empty()) throw std::runtime_error(where() + ": empty frame");
+      cl.frames.emplace_back(frame);
+      if (semi == std::string_view::npos) break;
+      stack.remove_prefix(semi + 1);
+    }
+    out.push_back(std::move(cl));
+  }
+  return out;
+}
+
+namespace {
+
+std::string joined_stack(const CollapsedLine& cl) {
+  std::string s;
+  for (std::size_t i = 0; i < cl.frames.size(); ++i) {
+    if (i != 0) s += ';';
+    s += cl.frames[i];
+  }
+  return s;
+}
+
+bool known_sched_phase(const std::string& frame) {
+  return frame == "fiber_run" || frame == "mailbox_wait" || frame == "heap_dispatch" ||
+         frame == "idle";
+}
+
+}  // namespace
+
+std::vector<std::string> validate_collapsed(const std::vector<CollapsedLine>& lines) {
+  std::vector<std::string> problems;
+  if (lines.empty()) {
+    problems.push_back("no stacks (profiler collected zero samples?)");
+    return problems;
+  }
+  std::string prev;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string stack = joined_stack(lines[i]);
+    if (!seen.insert(stack).second) {
+      problems.push_back("duplicate stack '" + stack + "'");
+    }
+    if (i > 0 && stack < prev) {
+      problems.push_back("stacks not sorted: '" + stack + "' after '" + prev + "'");
+    }
+    prev = stack;
+    if (lines[i].frames[0] != lines[0].frames[0]) {
+      problems.push_back("stack '" + stack + "' does not share root frame '" +
+                         lines[0].frames[0] + "'");
+    }
+    if (lines[i].frames[0] == "isoee_engine") {
+      if (lines[i].frames.size() < 3) {
+        problems.push_back("stack '" + stack + "' is too shallow (want worker;phase)");
+      } else {
+        if (lines[i].frames[1].rfind("worker_", 0) != 0) {
+          problems.push_back("stack '" + stack + "': frame 2 is not a worker_<id>");
+        }
+        if (!known_sched_phase(lines[i].frames[2])) {
+          problems.push_back("stack '" + stack + "': unknown scheduler phase '" +
+                             lines[i].frames[2] + "'");
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> collapsed_by_depth(
+    const std::vector<CollapsedLine>& lines, std::size_t depth) {
+  std::map<std::string, std::uint64_t> agg;
+  for (const CollapsedLine& cl : lines) {
+    agg[depth < cl.frames.size() ? cl.frames[depth] : std::string()] += cl.samples;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out(agg.begin(), agg.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
 }  // namespace isoee::benchtools

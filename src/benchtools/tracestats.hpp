@@ -150,4 +150,35 @@ std::vector<DiffRow> diff_rows(std::span<const AttributionRow> a,
 /// std::invalid_argument on an unknown name.
 sim::MachineSpec machine_for_trace(const std::string& name, const LoadedTrace& trace);
 
+// --- collapsed stacks (flamegraphs) ----------------------------------------
+//
+// The fiber-scheduler host-time profiler (obs::SchedProfiler) exports
+// semicolon-delimited collapsed-stack text, one stack per line:
+//
+//   isoee_engine;worker_0;fiber_run;rank_12 345
+//
+// the format flamegraph.pl / speedscope consume directly. `trace_stats
+// --flame` parses, validates, and summarizes these files.
+
+/// One parsed collapsed-stack line.
+struct CollapsedLine {
+  std::vector<std::string> frames;  // root first
+  std::uint64_t samples = 0;
+};
+
+/// Parses collapsed-stack text; throws std::runtime_error naming the line on
+/// malformed input (no count, zero count, empty frame).
+std::vector<CollapsedLine> parse_collapsed(std::string_view text);
+
+/// Structural validation of what SchedProfiler::collapsed() guarantees:
+/// lines sorted lexicographically by joined stack, no duplicate stacks, a
+/// common root frame, and known scheduler phase names at depth 3 when the
+/// root is isoee_engine. Returns problems; empty means valid.
+std::vector<std::string> validate_collapsed(const std::vector<CollapsedLine>& lines);
+
+/// Sums samples grouped by the frame at `depth` (root = 0); stacks shorter
+/// than depth+1 are grouped under "". Sorted by descending samples, then name.
+std::vector<std::pair<std::string, std::uint64_t>> collapsed_by_depth(
+    const std::vector<CollapsedLine>& lines, std::size_t depth);
+
 }  // namespace isoee::benchtools

@@ -10,6 +10,7 @@
 
 #include "model/comm.hpp"
 #include "npb/ep.hpp"
+#include "obs/drift.hpp"
 #include "npb/ft.hpp"
 #include "sim/engine.hpp"
 #include "smpi/comm.hpp"
@@ -695,6 +696,10 @@ std::optional<std::string> check_case(const CheckConfig& cfg, const FaultInjecti
       } else {
         model_t = model::hockney_alltoall_time(c.p, B, m.net.t_s, m.net.t_w());
       }
+      // Feed the drift watchdog before the band check: a band violation is
+      // also the largest drift signal the fuzzer can produce.
+      obs::drift().record({m.name, "alltoall", c.p, 0.0, "time_s"}, model_t,
+                          base.result.makespan);
       if (model_t > 0.0 &&
           std::abs(base.result.makespan - model_t) > kTimeBandRel * model_t) {
         std::ostringstream os;

@@ -19,6 +19,32 @@ std::string fmt_double(double value) {
   return std::string(buf);
 }
 
+// Bucket upper bounds are human-chosen round numbers (1e-3, 64, 0.05, ...);
+// %.12g keeps them exact while avoiding %.17g artifacts like
+// "9.9999999999999995e-07" for 1e-6.
+std::string fmt_bound(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return std::string(buf);
+}
+
+std::string bucket_row_name(const std::string& name, const std::string& le) {
+  return name + "_bucket{le=\"" + le + "\"}";
+}
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+// (`sim.runs_started`) map '.' and any other illegal byte to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
 void atomic_add_double(std::atomic<double>& a, double v) {
   double cur = a.load(std::memory_order_relaxed);
   while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
@@ -58,6 +84,12 @@ std::span<const double> default_size_buckets() {
   static const std::array<double, 8> b = {64.0,      1024.0,     16384.0,   262144.0,
                                           4194304.0, 67108864.0, 1073741824.0,
                                           17179869184.0};
+  return b;
+}
+
+std::span<const double> default_rel_error_buckets() {
+  static const std::array<double, 11> b = {-0.5, -0.2, -0.1, -0.05, -0.02, 0.0,
+                                           0.02, 0.05, 0.1,  0.2,   0.5};
   return b;
 }
 
@@ -109,11 +141,11 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h->bounds().size(); ++i) {
       cum += h->bucket_count(i);
-      out.push_back({name + "_le_" + fmt_double(h->bounds()[i]), "histogram",
+      out.push_back({bucket_row_name(name, fmt_bound(h->bounds()[i])), "histogram",
                      std::to_string(cum)});
     }
     cum += h->bucket_count(h->bounds().size());
-    out.push_back({name + "_le_inf", "histogram", std::to_string(cum)});
+    out.push_back({bucket_row_name(name, "+Inf"), "histogram", std::to_string(cum)});
     out.push_back({name + "_sum", "histogram", fmt_double(h->sum())});
     out.push_back({name + "_count", "histogram", std::to_string(h->count())});
   }
@@ -129,7 +161,7 @@ bool MetricsRegistry::write_csv(const std::string& path) const {
   return table.write_csv(path);
 }
 
-bool MetricsRegistry::write_json(const std::string& path) const {
+std::string MetricsRegistry::render_json() const {
   std::string body = "{\n";
   const auto snap = snapshot();
   for (std::size_t i = 0; i < snap.size(); ++i) {
@@ -139,6 +171,12 @@ bool MetricsRegistry::write_json(const std::string& path) const {
     body += '\n';
   }
   body += "}\n";
+  return body;
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     ISOEE_ERROR("MetricsRegistry: cannot open %s", path.c_str());
@@ -148,6 +186,47 @@ bool MetricsRegistry::write_json(const std::string& path) const {
   const bool ok = n == body.size() && std::fclose(f) == 0;
   if (!ok) ISOEE_ERROR("MetricsRegistry: short write to %s", path.c_str());
   return ok;
+}
+
+}  // namespace
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, render_json());
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + fmt_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      out += p + "_bucket{le=\"" + fmt_bound(h->bounds()[i]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    cum += h->bucket_count(h->bounds().size());
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += p + "_sum " + fmt_double(h->sum()) + "\n";
+    out += p + "_count " + std::to_string(h->count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  return write_text_file(path, render_prometheus());
 }
 
 void MetricsRegistry::reset() {

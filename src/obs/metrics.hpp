@@ -79,11 +79,22 @@ class Histogram {
 };
 
 /// Shared fixed bucket bounds so same-unit histograms are comparable.
-std::span<const double> default_time_buckets_s();   // 1us .. 100s, decades
-std::span<const double> default_size_buckets();     // 64 B .. 64 MiB, x16
+///
+/// Time (seconds), one bucket per decade:
+///   {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}  (+Inf implicit)
+std::span<const double> default_time_buckets_s();
+/// Sizes (bytes), one bucket per x16:
+///   {64, 1 KiB, 16 KiB, 256 KiB, 4 MiB, 64 MiB, 1 GiB, 16 GiB}  (+Inf implicit)
+std::span<const double> default_size_buckets();
+/// Signed relative error, symmetric around zero (for drift tracking):
+///   {-0.5, -0.2, -0.1, -0.05, -0.02, 0, 0.02, 0.05, 0.1, 0.2, 0.5}  (+Inf implicit)
+std::span<const double> default_rel_error_buckets();
 
-/// One snapshot row (histograms expand to per-bucket cumulative rows plus
-/// _sum and _count, Prometheus-style).
+/// One snapshot row. Histograms expand Prometheus-style: one cumulative row
+/// per bucket named `<name>_bucket{le="<bound>"}` (upper bound rendered with
+/// %.12g; the implicit catch-all bucket is `le="+Inf"`), plus `<name>_sum`
+/// and `<name>_count`. Rows are sorted by name, which is lexicographic —
+/// consumers that need buckets in bound order must sort by parsed `le`.
 struct MetricSample {
   std::string name;
   std::string kind;   // "counter" | "gauge" | "histogram"
@@ -110,6 +121,15 @@ class MetricsRegistry {
   bool write_csv(const std::string& path) const;
   /// Writes the snapshot as a JSON object keyed by metric name.
   bool write_json(const std::string& path) const;
+  /// The same JSON object as write_json, returned as a string (used by the
+  /// service `metrics` endpoint).
+  std::string render_json() const;
+  /// Prometheus text exposition format: metric names sanitized to
+  /// [a-zA-Z0-9_:] ('.' becomes '_'), `# TYPE` comment per family, histogram
+  /// bucket lines `<name>_bucket{le="<bound>"}`, terminated by `# EOF`.
+  std::string render_prometheus() const;
+  /// Writes render_prometheus() to `path`. Returns false on I/O error.
+  bool write_prometheus(const std::string& path) const;
 
   /// Zeroes every registered metric in place (references stay valid). For
   /// tests; production code only ever accumulates.

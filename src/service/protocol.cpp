@@ -144,7 +144,9 @@ Method parse_method(const std::string& name) {
   if (name == "calibrate") return Method::kCalibrate;
   if (name == "optimize") return Method::kOptimize;
   if (name == "iso_contour") return Method::kIsoContour;
+  if (name == "install") return Method::kInstall;
   if (name == "stats") return Method::kStats;
+  if (name == "metrics") return Method::kMetrics;
   if (name == "shutdown") return Method::kShutdown;
   fail(ErrorCode::kUnknownMethod, "unknown method '" + name + "'");
 }
@@ -274,7 +276,19 @@ Request parse_request(const std::string& line, std::string* id_json_out) {
         fail(ErrorCode::kInvalidParams, "need 0 < n_lo < n_hi");
       }
       break;
+    case Method::kInstall:
+      // The serialized texts come verbatim from a calibrate response's
+      // `machine_params` / `workload` members, so a client can persist a
+      // calibration and re-install it into a fresh server (or, in the drift
+      // tests, install a deliberately perturbed one).
+      restrict_params(*params, {"machine", "app", "machine_params", "workload"});
+      req.machine = require_string(*params, "machine");
+      req.app = require_string(*params, "app");
+      req.machine_params = require_string(*params, "machine_params");
+      req.workload = require_string(*params, "workload");
+      break;
     case Method::kStats:
+    case Method::kMetrics:
     case Method::kShutdown:
       restrict_params(*params, {});
       break;

@@ -63,7 +63,9 @@ enum class Method {
   kCalibrate,
   kOptimize,
   kIsoContour,
+  kInstall,  // install a serialized (machine_params, workload) calibration
   kStats,
+  kMetrics,  // full metrics-registry snapshot as a JSON object
   kShutdown,
 };
 
@@ -87,6 +89,8 @@ struct Request {
   std::vector<double> ns;          // calibrate: problem sizes (p=1 sweep)
   std::vector<int> ps;             // calibrate/optimize/iso_contour: processor counts
   std::string objective;           // optimize: see docs/SERVICE.md
+  std::string machine_params;      // install: model::serialize(MachineParams) text
+  std::string workload;            // install: model::serialize(WorkloadModel) text
   double cap_w = 0.0;              // optimize "min_time_under_cap"
   double deadline_s = 0.0;         // optimize "min_energy_under_deadline"
   double target_ee = 0.0;          // optimize "max_p" / iso_contour

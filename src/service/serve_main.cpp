@@ -33,7 +33,10 @@ int main(int argc, char** argv) {
       .flag("cache-max-mb", "0",
             "result-cache size cap in MiB, oldest entries pruned (0 = unbounded)")
       .flag("trace-out", "", "write a Chrome trace of request spans to this file at exit")
-      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file at exit");
+      .flag("metrics-out", "", "write the metrics snapshot to this .json/.csv file at exit")
+      .flag("prom-out", "", "write a Prometheus text exposition snapshot to this file at exit")
+      .flag("slow-ms", "0",
+            "log (ISOEE_LOG=warn) requests slower than this many milliseconds (0 = off)");
   if (!cli.parse(argc, argv)) return 1;
 
   service::ServiceConfig config;
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   config.cache_dir = cli.get("cache-dir");
   config.cache_max_bytes =
       static_cast<std::uint64_t>(cli.get_int("cache-max-mb")) * (1ull << 20);
+  config.slow_request_s = static_cast<double>(cli.get_int("slow-ms")) * 1e-3;
 
   obs::TraceCollector collector;
   const std::string trace_out = cli.get("trace-out");
@@ -76,6 +80,9 @@ int main(int argc, char** argv) {
     const bool ok =
         is_json ? obs::metrics().write_json(path) : obs::metrics().write_csv(path);
     if (ok) std::printf("[metrics] %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get("prom-out"); !path.empty()) {
+    if (obs::metrics().write_prometheus(path)) std::printf("[prom] %s\n", path.c_str());
   }
   std::printf("isoee_serve: done (%zu stdin requests)\n", handled);
   return 0;

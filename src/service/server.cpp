@@ -10,6 +10,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace isoee::service {
@@ -82,6 +83,15 @@ void TcpServer::serve_connection(int fd) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;  // blank lines are keep-alives
+      if (line == "metrics") {
+        // GET-less scrape: the bare word `metrics` (not valid JSON, so no
+        // protocol request can collide with it) answers with the Prometheus
+        // text exposition, `# EOF`-terminated so scrapers know the snapshot
+        // is complete. The JSON protocol proper is untouched — this carve-out
+        // lives only in the transports.
+        if (!write_all(fd, obs::metrics().render_prometheus())) break;
+        continue;
+      }
       if (!write_all(fd, service_.handle_line(line) + "\n")) break;
       continue;
     }
@@ -107,6 +117,12 @@ std::size_t run_stdin(Service& service, std::istream& in, std::ostream& out) {
   while (!service.shutdown_requested() && std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    if (line == "metrics") {  // same scrape carve-out as the TCP transport
+      out << obs::metrics().render_prometheus();
+      out.flush();
+      ++handled;
+      continue;
+    }
     out << service.handle_line(line) << "\n";
     out.flush();
     ++handled;

@@ -14,6 +14,7 @@
 #include "model/isocontour.hpp"
 #include "model/model.hpp"
 #include "model/serialize.hpp"
+#include "obs/drift.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
@@ -241,9 +242,17 @@ std::string Service::handle_line(const std::string& line) {
         method = "iso_contour";
         fragment = handle_iso_contour(req);
         break;
+      case Method::kInstall:
+        method = "install";
+        fragment = handle_install(req);
+        break;
       case Method::kStats:
         method = "stats";
         fragment = handle_stats();
+        break;
+      case Method::kMetrics:
+        method = "metrics";
+        fragment = handle_metrics();
         break;
       case Method::kShutdown:
         method = "shutdown";
@@ -276,6 +285,17 @@ std::string Service::handle_line(const std::string& line) {
     metrics.latency_cache_s.observe(dur);
   } else if (tier == "model") {
     metrics.latency_model_s.observe(dur);
+  }
+  // Per-method × per-tier latency ("error" counts as a tier here: failed
+  // requests should not pollute the success distributions). The name lookup
+  // takes the registry mutex, which is fine at request granularity.
+  obs::metrics()
+      .histogram("service.latency_s." + method + "." + tier,
+                 obs::default_time_buckets_s())
+      .observe(dur);
+  if (config_.slow_request_s > 0.0 && dur > config_.slow_request_s) {
+    ISOEE_WARN("service: slow request method=%s tier=%s dur_ms=%.3f id=%s",
+               method.c_str(), tier.c_str(), dur * 1e3, id_json.c_str());
   }
   // Service spans run on *host* time (there is no virtual clock spanning
   // requests); they land under cat "service" so trace tooling can tell them
@@ -371,6 +391,24 @@ std::string Service::handle_predict(const Request& req, std::string* tier, bool*
   *tier = outcome.simulated ? "sim" : "cache";
   const std::vector<double> v = exec::decode_doubles(outcome.payload);
   if (v.size() != 4) fail(ErrorCode::kInternal, "measure payload: wrong arity");
+
+  // A measured request is the one place a live service produces both a
+  // closed-form prediction and a simulated actual for the same operating
+  // point — feed the pair to the drift watchdog when a model is resolvable
+  // (cache-tier answers included: the model may have drifted since the
+  // simulation was cached).
+  try {
+    const Calibration cal = resolve_model(req);
+    const model::IsoEnergyModel m(cal.machine.at_frequency(f));
+    const model::AppParams app = cal.workload->at(v[0], req.p);
+    const model::PerfPrediction perf = m.predict_performance(app);
+    const model::EnergyPrediction energy = m.predict_energy(app);
+    obs::drift().record({req.machine, req.app, req.p, f, "energy_j"}, energy.Ep, v[1]);
+    obs::drift().record({req.machine, req.app, req.p, f, "time_s"}, perf.Tp, v[2]);
+  } catch (const RequestError&) {
+    // No stock or fitted model for this app: nothing to compare against.
+  }
+
   return "{" + json_field("n", v[0]) + "," + json_field("p", double(req.p)) + "," +
          json_field("f_ghz", f) + "," + json_field("energy_j", v[1]) + "," +
          json_field("time_s", v[2]) + "," + json_field("alpha", v[3]) + "}";
@@ -553,6 +591,41 @@ std::string Service::handle_iso_contour(const Request& req) {
   return out + "]}";
 }
 
+std::string Service::handle_install(const Request& req) {
+  spec_for(req.machine);  // validates the machine name
+  require_known_app(req.app);
+  const std::optional<model::MachineParams> mp = model::parse_machine(req.machine_params);
+  if (!mp) fail(ErrorCode::kInvalidParams, "param 'machine_params' is not parsable");
+  std::unique_ptr<model::WorkloadModel> workload = model::parse_workload(req.workload);
+  if (workload == nullptr) fail(ErrorCode::kInvalidParams, "param 'workload' is not parsable");
+
+  Calibration cal;
+  cal.machine = *mp;
+  cal.workload = std::shared_ptr<const model::WorkloadModel>(std::move(workload));
+  {
+    std::lock_guard<std::mutex> lock(cal_mu_);
+    calibrations_[req.machine + '\x1f' + req.app] = cal;
+  }
+  ISOEE_INFO("service: installed calibration for (%s, %s)", req.machine.c_str(),
+             req.app.c_str());
+  return std::string("{\"machine\":\"") + req.machine + "\",\"app\":\"" + req.app +
+         "\",\"installed\":true}";
+}
+
+std::string Service::handle_metrics() {
+  // One compact JSON object per the line-protocol contract: responses are
+  // single lines, so this re-renders the snapshot without the pretty-printed
+  // newlines write_json uses.
+  std::string out = "{";
+  const auto snap = obs::metrics().snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\"" + obs::json_escape(snap[i].name) + "\":{\"kind\":\"" + snap[i].kind +
+           "\",\"value\":" + snap[i].value + "}";
+  }
+  return out + "}";
+}
+
 std::string Service::handle_stats() {
   const ServiceMetrics& m = ServiceMetrics::get();
   const exec::ResultCache& cache = scheduler_->cache();
@@ -579,6 +652,20 @@ std::string Service::handle_stats() {
          "," +
          json_field("engine_rank_seconds_per_sec",
                     obs::metrics().gauge("engine.rank_seconds_per_sec").value()) +
+         "," +
+         // Model-drift watchdog (obs::DriftMonitor): degraded while any
+         // (machine, app, p, gear, quantity) key's EWMA |relative error|
+         // exceeds the configured threshold after min_samples pairs.
+         std::string("\"model_health\":\"") +
+         (obs::drift().degraded() ? "degraded" : "ok") + "\"," +
+         json_field("drift_samples",
+                    obs::metrics().counter("drift.samples").value()) +
+         "," +
+         json_field("drift_degraded_keys",
+                    static_cast<std::uint64_t>(obs::drift().degraded_count())) +
+         "," +
+         json_field("drift_max_ewma_abs_err",
+                    obs::metrics().gauge("drift.max_ewma_abs_err").value()) +
          "}";
 }
 

@@ -47,6 +47,7 @@ struct ServiceConfig {
   int max_pending = 64;       // admission cap (distinct in-flight sim jobs)
   std::string cache_dir;      // warm tier ("" = no cache: cold queries simulate)
   std::uint64_t cache_max_bytes = 0;  // on-disk cap, oldest pruned (0 = unbounded)
+  double slow_request_s = 0.0;        // ISOEE_WARN requests slower than this (0 = off)
 };
 
 class Service {
@@ -74,7 +75,9 @@ class Service {
   std::string handle_calibrate(const Request& req, std::string* tier, bool* coalesced);
   std::string handle_optimize(const Request& req);
   std::string handle_iso_contour(const Request& req);
+  std::string handle_install(const Request& req);
   std::string handle_stats();
+  std::string handle_metrics();
 
   /// The (machine params, workload) pair a model-tier request evaluates:
   /// fitted state when `req.calibrated`, stock defaults otherwise. Throws

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/sched_profiler.hpp"
 #include "sim/engine.hpp"  // RankAbandoned
 
 namespace isoee::sim::detail {
@@ -46,6 +47,9 @@ struct FiberScheduler::Worker {
   int id = 0;
   Fiber home;               // the OS thread's own context, adopted in worker_loop
   std::uint64_t dispatches = 0;
+  // Host-time profiler slot. Disengaged (a single null-check per set_phase)
+  // unless the process-wide SchedProfiler is sampling.
+  obs::SchedProfiler::WorkerHandle prof;
 
   // Ready fibers of this shard, dispatched smallest (key, rank) first.
   struct Cmp {
@@ -96,6 +100,11 @@ std::exception_ptr FiberScheduler::run(const std::function<void(int)>& body) {
   }
   ready_total_.store(static_cast<std::uint64_t>(nranks_), std::memory_order_relaxed);
 
+  // Opt into host-time sampling when ISOEE_SCHED_PROFILE_US is set (or a
+  // bench already started the profiler). When the profiler is off the
+  // per-worker handles stay disengaged and every hook below costs one branch.
+  obs::sched_profiler().maybe_start_from_env();
+
   if (opts_.workers == 1) {
     // Hot path for the hundreds of small study cases: run the whole schedule
     // inline on the calling thread — no thread spawn, no cv traffic.
@@ -118,8 +127,11 @@ std::exception_ptr FiberScheduler::run(const std::function<void(int)>& body) {
 void FiberScheduler::worker_loop(int w) {
   Worker& wk = *workers_[static_cast<std::size_t>(w)];
   wk.home.adopt_thread();
+  obs::SchedProfiler& prof = obs::sched_profiler();
+  if (prof.enabled()) wk.prof = prof.register_worker(w);
   std::vector<ReadyItem> drained;
   for (;;) {
+    wk.prof.set_phase(obs::SchedPhase::kHeapDispatch);
     if (!single_) {
       {
         std::lock_guard<std::mutex> lk(wk.mu);
@@ -148,6 +160,8 @@ void FiberScheduler::worker_loop(int w) {
     if (!single_) ready_total_.fetch_sub(1, std::memory_order_relaxed);
     dispatch(wk, item.rank);
   }
+  wk.prof.set_phase(obs::SchedPhase::kIdle);
+  wk.prof.release();
   wk.home.release_thread();
 }
 
@@ -156,7 +170,9 @@ void FiberScheduler::dispatch(Worker& wk, int rank) {
   slot.resume_to = &wk.home;
   slot.state = RankSlot::State::kRunning;
   ++wk.dispatches;
+  wk.prof.set_phase(obs::SchedPhase::kFiberRun, rank);
   Fiber::switch_to(wk.home, slot.fiber);
+  wk.prof.set_phase(obs::SchedPhase::kHeapDispatch);
   // The fiber has switched back: blocked, yielded, or finished.
   switch (slot.state) {
     case RankSlot::State::kBlocked:
@@ -319,10 +335,12 @@ void FiberScheduler::on_idle(Worker& wk) {
     }
   }
   {
+    wk.prof.set_phase(obs::SchedPhase::kMailboxWait);
     std::unique_lock<std::mutex> lk(wk.mu);
     wk.cv.wait(lk, [&] {
       return !wk.inbox.empty() || stop_.load(std::memory_order_acquire);
     });
+    wk.prof.set_phase(obs::SchedPhase::kHeapDispatch);
   }
   {
     std::lock_guard<std::mutex> ilk(idle_mu_);

@@ -1,10 +1,16 @@
-// Tests for the calibration tools: lat_mem_rd staircase, mpptest parameter
-// recovery, and full machine-vector calibration against ground truth.
+// Tests for the calibration tools (lat_mem_rd staircase, mpptest parameter
+// recovery, full machine-vector calibration against ground truth) and the
+// collapsed-stack flamegraph path of trace_stats.
 #include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "benchtools/calibrate.hpp"
 #include "benchtools/latency.hpp"
 #include "benchtools/mpptest.hpp"
+#include "benchtools/tracestats.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -91,6 +97,99 @@ TEST(Calibrate, NominalRoundTripsSpec) {
   EXPECT_DOUBLE_EQ(params.f_ghz, spec.cpu.base_ghz);
   EXPECT_DOUBLE_EQ(params.t_c(), spec.cpu.cpi / (spec.cpu.base_ghz * 1e9));
   EXPECT_DOUBLE_EQ(params.p_sys_idle, spec.power.system_idle_w());
+}
+
+// --- collapsed stacks (trace_stats --flame) ---------------------------------
+
+TEST(Collapsed, ParsesFramesAndCounts) {
+  const auto lines = benchtools::parse_collapsed(
+      "isoee_engine;worker_0;fiber_run;rank_3 12\n"
+      "isoee_engine;worker_0;heap_dispatch 4\n"
+      "\n"  // blank lines are skipped
+      "isoee_engine;worker_1;mailbox_wait 7\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].frames,
+            (std::vector<std::string>{"isoee_engine", "worker_0", "fiber_run", "rank_3"}));
+  EXPECT_EQ(lines[0].samples, 12u);
+  EXPECT_EQ(lines[1].frames.size(), 3u);
+  EXPECT_EQ(lines[2].samples, 7u);
+}
+
+TEST(Collapsed, ParseRejectsMalformedLinesWithLineNumbers) {
+  const auto throws_with = [](const char* text, const char* needle) {
+    try {
+      benchtools::parse_collapsed(text);
+      FAIL() << "expected throw for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  throws_with("stack_without_count\n", "collapsed line 1");
+  throws_with("a;b 3\nstack 0\n", "collapsed line 2");       // zero count
+  throws_with("a;b notanumber\n", "not a positive integer");
+  throws_with("a;;b 3\n", "empty frame");
+}
+
+TEST(Collapsed, ValidateAcceptsProfilerShapedOutput) {
+  const auto lines = benchtools::parse_collapsed(
+      "isoee_engine;worker_0;fiber_run;rank_0 3\n"
+      "isoee_engine;worker_0;fiber_run;rank_other 1\n"
+      "isoee_engine;worker_0;idle 2\n"
+      "isoee_engine;worker_1;mailbox_wait 5\n");
+  EXPECT_TRUE(benchtools::validate_collapsed(lines).empty());
+}
+
+TEST(Collapsed, ValidateFlagsStructuralProblems) {
+  const auto problems_of = [](const char* text) {
+    return benchtools::validate_collapsed(benchtools::parse_collapsed(text));
+  };
+  EXPECT_EQ(problems_of("")[0], "no stacks (profiler collected zero samples?)");
+
+  // Unsorted, duplicate, foreign root, bad worker frame, unknown phase.
+  auto p = problems_of(
+      "isoee_engine;worker_1;idle 1\n"
+      "isoee_engine;worker_0;idle 1\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("not sorted"), std::string::npos);
+
+  p = problems_of(
+      "isoee_engine;worker_0;idle 1\n"
+      "isoee_engine;worker_0;idle 2\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("duplicate stack"), std::string::npos);
+
+  p = problems_of(
+      "isoee_engine;worker_0;idle 1\n"
+      "other_root;worker_0;idle 1\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("share root"), std::string::npos);
+
+  p = problems_of("isoee_engine;thread_0;fiber_run 1\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("not a worker_<id>"), std::string::npos);
+
+  p = problems_of("isoee_engine;worker_0;sleeping 1\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("unknown scheduler phase"), std::string::npos);
+
+  p = problems_of("isoee_engine;worker_0 1\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NE(p[0].find("too shallow"), std::string::npos);
+}
+
+TEST(Collapsed, ByDepthAggregatesAndRanks) {
+  const auto lines = benchtools::parse_collapsed(
+      "isoee_engine;worker_0;fiber_run;rank_0 3\n"
+      "isoee_engine;worker_0;heap_dispatch 2\n"
+      "isoee_engine;worker_1;fiber_run;rank_1 4\n");
+  const auto by_phase = benchtools::collapsed_by_depth(lines, 2);
+  ASSERT_EQ(by_phase.size(), 2u);
+  EXPECT_EQ(by_phase[0], (std::pair<std::string, std::uint64_t>{"fiber_run", 7u}));
+  EXPECT_EQ(by_phase[1], (std::pair<std::string, std::uint64_t>{"heap_dispatch", 2u}));
+  // Depth past the short stack groups under "".
+  const auto by_rank = benchtools::collapsed_by_depth(lines, 3);
+  ASSERT_EQ(by_rank.size(), 3u);
+  EXPECT_EQ(by_rank[0].first, "rank_1");
 }
 
 }  // namespace

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <span>
 #include <fstream>
 #include <sstream>
@@ -16,12 +18,15 @@
 #include <vector>
 
 #include "analysis/runner.hpp"
+#include "analysis/study.hpp"
 #include "benchtools/tracestats.hpp"
 #include "exec/executor.hpp"
 #include "governor/governor.hpp"
 #include "governor/policies.hpp"
 #include "npb/classes.hpp"
+#include "obs/drift.hpp"
 #include "obs/obs.hpp"
+#include "obs/sched_profiler.hpp"
 #include "powerpack/phases.hpp"
 #include "powerpack/profiler.hpp"
 #include "sim/engine.hpp"
@@ -163,6 +168,279 @@ TEST(Metrics, EngineRunsFeedTheGlobalRegistry) {
 
   EXPECT_EQ(runs.value(), runs_before + 1);
   EXPECT_EQ(msgs.value() - msgs_before, result.counters.messages_sent);
+}
+
+TEST(Metrics, SnapshotSchemaIsStable) {
+  // The snapshot row schema is load-bearing: bench CSV diffs, the service's
+  // `metrics` endpoint, and service_load --verify all parse these names. A
+  // histogram with bounds {0.5, 2} must produce exactly these rows, in
+  // exactly this (lexicographic) order, with cumulative bucket counts.
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("h", std::vector<double>{0.5, 2.0});
+  h.observe(0.25);  // le 0.5
+  h.observe(1.0);   // le 2
+  h.observe(9.0);   // +Inf
+  reg.counter("h.extra").inc();
+
+  const auto snap = reg.snapshot();
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (const auto& s : snap) rows.emplace_back(s.name, s.value);
+  const std::vector<std::pair<std::string, std::string>> want = {
+      {"h.extra", "1"},
+      {"h_bucket{le=\"+Inf\"}", "3"},
+      {"h_bucket{le=\"0.5\"}", "1"},
+      {"h_bucket{le=\"2\"}", "2"},
+      {"h_count", "3"},
+      {"h_sum", "10.25"},
+  };
+  EXPECT_EQ(rows, want);
+}
+
+TEST(Metrics, PrometheusRenderIsWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.runs_started").inc(3);
+  reg.gauge("engine.rank_seconds_per_sec").set(1.5);
+  reg.histogram("service.latency_s.predict.model", std::vector<double>{0.001})
+      .observe(0.0005);
+  const std::string text = reg.render_prometheus();
+
+  // Dotted names sanitize to underscores; every family gets a # TYPE line;
+  // histogram rows follow the le-label convention; the exposition terminates
+  // with the OpenMetrics EOF marker.
+  EXPECT_NE(text.find("# TYPE sim_runs_started counter\n"), std::string::npos);
+  EXPECT_NE(text.find("sim_runs_started 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_rank_seconds_per_sec gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE service_latency_s_predict_model histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_latency_s_predict_model_bucket{le=\"0.001\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_latency_s_predict_model_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_latency_s_predict_model_count 1\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Every non-comment line is `name{labels} value` over the Prometheus
+  // charset — the shape the CI scrape smoke asserts too.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (const char ch : name.substr(0, name.find('{'))) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == ':')
+          << line;
+    }
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+// --- drift watchdog ---------------------------------------------------------
+
+TEST(Drift, CalibratedErrorsStayHealthy) {
+  // ~5% model-vs-sim disagreement (the paper's validated envelope) must never
+  // trip the watchdog, no matter how many samples accumulate.
+  obs::DriftMonitor mon;
+  const obs::DriftKey key{"system_g", "FT", 16, 2.0, "energy_j"};
+  for (int i = 0; i < 100; ++i) {
+    const double actual = 10.0;
+    const double predicted = actual * (i % 2 == 0 ? 1.05 : 0.95);
+    mon.record(key, predicted, actual);
+  }
+  EXPECT_FALSE(mon.degraded());
+  EXPECT_EQ(mon.degraded_count(), 0u);
+  const auto snap = mon.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].samples, 100u);
+  EXPECT_NEAR(snap[0].ewma_abs, 0.05, 1e-12);
+  EXPECT_FALSE(snap[0].degraded);
+}
+
+TEST(Drift, MisCalibratedMachineTrips) {
+  // A +30% systematic prediction error — the mis-calibration the drift e2e
+  // test injects via a perturbed gamma — trips the key exactly when it
+  // reaches min_samples, and only that key.
+  obs::DriftMonitor mon;
+  const obs::DriftKey bad{"system_g", "EP", 8, 0.0, "energy_j"};
+  const obs::DriftKey good{"dori", "CG", 8, 0.0, "energy_j"};
+  const auto min_samples = mon.config().min_samples;
+  for (std::uint64_t i = 0; i < min_samples; ++i) {
+    EXPECT_FALSE(mon.degraded()) << "tripped before min_samples at " << i;
+    mon.record(bad, 13.0, 10.0);  // e = +0.30 every time
+    mon.record(good, 10.1, 10.0);
+  }
+  EXPECT_TRUE(mon.degraded());
+  EXPECT_EQ(mon.degraded_count(), 1u);
+  const auto degraded = mon.degraded_keys();
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_TRUE(degraded[0].key == bad);
+  EXPECT_NEAR(degraded[0].ewma_abs, 0.30, 1e-12);
+  EXPECT_NEAR(degraded[0].ewma_signed, 0.30, 1e-12);
+}
+
+TEST(Drift, EwmaSeedsWithFirstSampleThenSmooths) {
+  obs::DriftConfig cfg;
+  cfg.alpha = 0.25;
+  obs::DriftMonitor mon(cfg);
+  const obs::DriftKey key{"m", "a", 1, 0.0, "time_s"};
+  mon.record(key, 12.0, 10.0);  // e = +0.2 seeds both EWMAs
+  auto snap = mon.snapshot();
+  EXPECT_NEAR(snap[0].ewma_signed, 0.2, 1e-12);
+  EXPECT_NEAR(snap[0].ewma_abs, 0.2, 1e-12);
+
+  mon.record(key, 9.0, 10.0);  // e = -0.1
+  snap = mon.snapshot();
+  EXPECT_NEAR(snap[0].last_signed, -0.1, 1e-12);
+  EXPECT_NEAR(snap[0].ewma_signed, 0.25 * -0.1 + 0.75 * 0.2, 1e-12);
+  EXPECT_NEAR(snap[0].ewma_abs, 0.25 * 0.1 + 0.75 * 0.2, 1e-12);
+}
+
+TEST(Drift, BadActualsAreSkippedNotRecorded) {
+  obs::MetricsRegistry reg;
+  obs::DriftMonitor mon(obs::DriftConfig{}, &reg);
+  const obs::DriftKey key{"m", "a", 1, 0.0, "time_s"};
+  mon.record(key, 1.0, 0.0);
+  mon.record(key, 1.0, -5.0);
+  mon.record(key, 1.0, std::numeric_limits<double>::quiet_NaN());
+  mon.record(key, 1.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(mon.snapshot().empty());
+  EXPECT_EQ(reg.counter("drift.skipped").value(), 4u);
+  EXPECT_EQ(reg.counter("drift.samples").value(), 0u);
+}
+
+TEST(Drift, MirrorsStateIntoMetricsRegistry) {
+  obs::MetricsRegistry reg;
+  obs::DriftMonitor mon(obs::DriftConfig{}, &reg);
+  const obs::DriftKey key{"m", "a", 4, 0.0, "energy_j"};
+  for (int i = 0; i < 6; ++i) mon.record(key, 14.0, 10.0);  // e = +0.4
+
+  EXPECT_EQ(reg.counter("drift.samples").value(), 6u);
+  EXPECT_DOUBLE_EQ(reg.gauge("drift.model_degraded").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("drift.degraded_keys").value(), 1.0);
+  EXPECT_NEAR(reg.gauge("drift.max_ewma_abs_err").value(), 0.4, 1e-12);
+  // The signed-error histogram put all six samples in the (0.2, 0.5] bucket.
+  auto& h = reg.histogram("drift.rel_error", obs::default_rel_error_buckets());
+  EXPECT_EQ(h.count(), 6u);
+
+  mon.reset();
+  EXPECT_FALSE(mon.degraded());
+  EXPECT_DOUBLE_EQ(reg.gauge("drift.model_degraded").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("drift.max_ewma_abs_err").value(), 0.0);
+}
+
+TEST(Drift, StudyValidationFeedsTheGlobalMonitor) {
+  // EnergyStudy::validate is a built-in feed point: every validation point
+  // lands two pairs (energy_j + time_s) on the global monitor, keyed by
+  // (machine, benchmark, p, gear). A calibrated study's errors sit well
+  // inside the threshold, so the watchdog stays green.
+  obs::drift().reset();
+  auto spec = sim::system_g();
+  spec.noise.enabled = false;
+  analysis::EnergyStudy study(spec, analysis::make_ep_adapter(), /*measured=*/false);
+  const double ns[] = {1 << 15, 1 << 16, 1 << 17};
+  const int ps[] = {2, 4};
+  study.calibrate(ns, ps);
+  (void)study.validate(1 << 18, 2);
+  (void)study.validate(1 << 18, 8);
+
+  const auto snap = obs::drift().snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // {p=2, p=8} x {energy_j, time_s}
+  for (const auto& row : snap) {
+    EXPECT_EQ(row.key.machine, spec.name);
+    EXPECT_EQ(row.key.app, "EP");
+    EXPECT_EQ(row.samples, 1u);
+    EXPECT_LT(row.ewma_abs, obs::drift().config().threshold);
+  }
+  EXPECT_FALSE(obs::drift().degraded());
+  obs::drift().reset();
+}
+
+// --- scheduler profiler -----------------------------------------------------
+
+namespace {
+
+/// Starts a profiler with an interval long enough that the background sampler
+/// never fires during the test; all samples come from the sample_now() seam.
+void start_quiet(obs::SchedProfiler& prof) {
+  obs::SchedProfiler::Options opts;
+  opts.interval_us = 60'000'000;  // one minute
+  prof.start(opts);
+}
+
+}  // namespace
+
+TEST(SchedProfiler, SampleNowAttributesPerWorkerPhases) {
+  obs::SchedProfiler prof;
+  start_quiet(prof);
+  auto w0 = prof.register_worker(0);
+  auto w1 = prof.register_worker(1);
+  ASSERT_TRUE(w0.engaged());
+  ASSERT_TRUE(w1.engaged());
+
+  w0.set_phase(obs::SchedPhase::kFiberRun, 7);
+  w1.set_phase(obs::SchedPhase::kMailboxWait);
+  prof.sample_now();
+  w0.set_phase(obs::SchedPhase::kHeapDispatch);
+  prof.sample_now();
+  w0.release();
+  prof.sample_now();  // only w1 is active now
+  prof.stop();
+
+  EXPECT_EQ(prof.total_samples(), 5u);
+  const auto report = prof.report();
+  ASSERT_EQ(report.size(), 3u);  // sorted by (worker, phase, rank)
+  EXPECT_EQ(report[0].worker, 0);
+  EXPECT_EQ(report[0].phase, obs::SchedPhase::kHeapDispatch);
+  EXPECT_EQ(report[0].samples, 1u);
+  EXPECT_EQ(report[1].phase, obs::SchedPhase::kFiberRun);
+  EXPECT_EQ(report[1].rank, 7);
+  EXPECT_EQ(report[1].samples, 1u);
+  EXPECT_EQ(report[2].worker, 1);
+  EXPECT_EQ(report[2].phase, obs::SchedPhase::kMailboxWait);
+  EXPECT_EQ(report[2].samples, 3u);
+
+  // Collapsed output round-trips through the benchtools parser + validator.
+  const std::string text = prof.collapsed();
+  EXPECT_NE(text.find("isoee_engine;worker_0;fiber_run;rank_7 1\n"), std::string::npos);
+  EXPECT_NE(text.find("isoee_engine;worker_1;mailbox_wait 3\n"), std::string::npos);
+  const auto lines = benchtools::parse_collapsed(text);
+  EXPECT_TRUE(benchtools::validate_collapsed(lines).empty());
+}
+
+TEST(SchedProfiler, TopRanksFoldIntoRankOther) {
+  obs::SchedProfiler prof;
+  start_quiet(prof);
+  auto w = prof.register_worker(0);
+  // Rank 0 gets 3 samples, rank 1 gets 2, ranks 2..4 one each.
+  for (int rank = 0; rank < 5; ++rank) {
+    w.set_phase(obs::SchedPhase::kFiberRun, rank);
+    for (int s = 0; s < (rank == 0 ? 3 : rank == 1 ? 2 : 1); ++s) prof.sample_now();
+  }
+  w.release();
+  prof.stop();
+
+  const std::string text = prof.collapsed(/*top_ranks=*/2);
+  EXPECT_NE(text.find(";fiber_run;rank_0 3\n"), std::string::npos);
+  EXPECT_NE(text.find(";fiber_run;rank_1 2\n"), std::string::npos);
+  EXPECT_NE(text.find(";fiber_run;rank_other 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("rank_2"), std::string::npos);
+  EXPECT_TRUE(
+      benchtools::validate_collapsed(benchtools::parse_collapsed(text)).empty());
+}
+
+TEST(SchedProfiler, DisabledProfilerHandlesAreInert) {
+  obs::SchedProfiler prof;
+  auto w = prof.register_worker(0);  // not enabled: disengaged
+  EXPECT_FALSE(w.engaged());
+  w.set_phase(obs::SchedPhase::kFiberRun, 3);  // single-branch no-op
+  prof.sample_now();
+  EXPECT_EQ(prof.total_samples(), 0u);
+  EXPECT_TRUE(prof.report().empty());
+
+  obs::SchedProfiler::WorkerHandle defaulted;
+  defaulted.set_phase(obs::SchedPhase::kIdle);
+  defaulted.release();  // releasing a disengaged handle is fine
 }
 
 // --- trace collection and export -------------------------------------------

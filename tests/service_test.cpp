@@ -18,7 +18,10 @@
 
 #include "benchtools/tracestats.hpp"
 #include "model/isocontour.hpp"
+#include "model/serialize.hpp"
 #include "model/workloads.hpp"
+#include "obs/drift.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
@@ -463,6 +466,153 @@ TEST(Endpoints, ShutdownStopsTheStdinLoopMidStream) {
   const std::string text = out.str();
   EXPECT_NE(text.find("\"stopping\":true"), std::string::npos);
   EXPECT_EQ(text.find("\"id\":3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry endpoints: metrics, model_health in stats, install.
+// ---------------------------------------------------------------------------
+
+TEST(Endpoints, MetricsReturnsOneLineSnapshotWithLatencyHistograms) {
+  Service svc{ServiceConfig{}};
+  (void)svc.handle_line(
+      R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":1e6,"p":4}})");
+  const std::string line = svc.handle_line(R"({"id":9,"method":"metrics"})");
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "responses must be single lines";
+  const auto v = parse_response(line);
+  ASSERT_TRUE(response_ok(v));
+  const auto* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  // The predict we just made shows up in its per-method x per-tier histogram
+  // (snapshot rows carry le= bucket labels plus _sum/_count).
+  const auto* count = result->find("service.latency_s.predict.model_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->find("kind")->str, "histogram");
+  EXPECT_GE(count->find("value")->number, 1.0);
+  const auto* bucket =
+      result->find("service.latency_s.predict.model_bucket{le=\"+Inf\"}");
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_GE(bucket->find("value")->number, count->find("value")->number);
+}
+
+TEST(Endpoints, StatsReportsModelHealthAndDriftCounters) {
+  obs::drift().reset();
+  Service svc{ServiceConfig{}};
+  const auto v = parse_response(svc.handle_line(R"({"method":"stats"})"));
+  ASSERT_TRUE(response_ok(v));
+  const auto* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->find("model_health"), nullptr);
+  EXPECT_EQ(result->find("model_health")->str, "ok");
+  EXPECT_NE(result->find("drift_samples"), nullptr);
+  EXPECT_NE(result->find("drift_degraded_keys"), nullptr);
+  EXPECT_NE(result->find("drift_max_ewma_abs_err"), nullptr);
+}
+
+TEST(Install, RejectsUnknownNamesAndUnparsableTexts) {
+  Service svc{ServiceConfig{}};
+  const auto code_of = [&](const std::string& line) {
+    return error_code_of(parse_response(svc.handle_line(line)));
+  };
+  EXPECT_EQ(code_of(
+      R"({"method":"install","params":{"machine":"nope","app":"EP","machine_params":"x","workload":"y"}})"),
+      "unknown_machine");
+  EXPECT_EQ(code_of(
+      R"({"method":"install","params":{"machine":"system_g","app":"NOPE","machine_params":"x","workload":"y"}})"),
+      "unknown_app");
+  EXPECT_EQ(code_of(
+      R"({"method":"install","params":{"machine":"system_g","app":"EP","machine_params":"not a params text","workload":"y"}})"),
+      "invalid_params");
+  EXPECT_EQ(code_of(
+      R"({"method":"install","params":{"machine":"system_g","app":"EP"}})"),
+      "invalid_params");  // machine_params/workload are required
+}
+
+// ---------------------------------------------------------------------------
+// Drift watchdog end to end: calibrate -> perturb -> install -> measured
+// traffic trips `model_health: degraded`; the unperturbed control stays ok.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One measured + calibrated predict: the sim tier produces the actual, the
+/// installed calibration produces the prediction, and the pair feeds the
+/// global DriftMonitor.
+std::string measured_calibrated_line(double n, int p) {
+  return R"({"method":"predict","params":{"machine":"system_g","app":"EP","n":)" +
+         std::to_string(n) + ",\"p\":" + std::to_string(p) +
+         ",\"measured\":true,\"calibrated\":true}}";
+}
+
+std::string install_line(const std::string& machine_text, const std::string& workload_text) {
+  return R"({"method":"install","params":{"machine":"system_g","app":"EP","machine_params":")" +
+         obs::json_escape(machine_text) + R"(","workload":")" +
+         obs::json_escape(workload_text) + "\"}}";
+}
+
+std::string stats_health(Service& svc) {
+  const auto v = parse_response(svc.handle_line(R"({"method":"stats"})"));
+  return v.find("result")->find("model_health")->str;
+}
+
+}  // namespace
+
+TEST(Drift, PerturbedInstallTripsWatchdogCleanInstallStaysGreen) {
+  obs::drift().reset();
+  ServiceConfig config;
+  config.jobs = 2;
+  Service svc{config};
+
+  // Calibrate and keep the serialized model texts from the response.
+  const auto cal = parse_response(svc.handle_line(
+      R"({"method":"calibrate","params":{"machine":"system_g","app":"EP","ns":[20000,40000],"ps":[2]}})"));
+  ASSERT_TRUE(response_ok(cal));
+  const std::string machine_text = cal.find("result")->find("machine_params")->str;
+  const std::string workload_text = cal.find("result")->find("workload")->str;
+
+  // Control: honest calibration, serial measured traffic past min_samples.
+  const auto min_samples = obs::drift().config().min_samples;
+  for (std::uint64_t i = 0; i <= min_samples; ++i) {
+    ASSERT_TRUE(response_ok(parse_response(svc.handle_line(measured_calibrated_line(20000, 2)))));
+  }
+  EXPECT_EQ(stats_health(svc), "ok") << "calibrated model must not trip the watchdog";
+
+  // Perturb the calibration: +30% gamma per the drift scenario, plus +50% on
+  // the idle floor — gamma only bends the power curve away from the base
+  // gear ((f/f0)^gamma == 1 at f == f0), so the idle floor, the dominant
+  // power term, is what makes the energy prediction miss deterministically.
+  auto perturbed = model::parse_machine(machine_text);
+  ASSERT_TRUE(perturbed.has_value());
+  perturbed->gamma *= 1.3;
+  perturbed->p_sys_idle *= 1.5;
+  const auto inst = parse_response(
+      svc.handle_line(install_line(model::serialize(*perturbed), workload_text)));
+  ASSERT_TRUE(response_ok(inst)) << "install of a re-serialized calibration must succeed";
+  EXPECT_TRUE(inst.find("result")->find("installed")->boolean);
+
+  // Same traffic against the perturbed model: every pair lands a >threshold
+  // energy error on one key, so the watchdog trips exactly when the key
+  // reaches min_samples — deterministically, the feed being serial.
+  obs::drift().reset();
+  for (std::uint64_t i = 0; i < min_samples; ++i) {
+    ASSERT_TRUE(response_ok(parse_response(svc.handle_line(measured_calibrated_line(20000, 2)))));
+  }
+  EXPECT_EQ(stats_health(svc), "degraded");
+  const auto degraded = obs::drift().degraded_keys();
+  ASSERT_GE(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0].key.machine, "system_g");
+  EXPECT_EQ(degraded[0].key.app, "EP");
+  EXPECT_EQ(degraded[0].key.quantity, "energy_j");
+  EXPECT_GT(degraded[0].ewma_abs, obs::drift().config().threshold);
+
+  // Re-installing the honest calibration and resetting the monitor recovers.
+  ASSERT_TRUE(response_ok(
+      parse_response(svc.handle_line(install_line(machine_text, workload_text)))));
+  obs::drift().reset();
+  for (std::uint64_t i = 0; i <= min_samples; ++i) {
+    ASSERT_TRUE(response_ok(parse_response(svc.handle_line(measured_calibrated_line(20000, 2)))));
+  }
+  EXPECT_EQ(stats_health(svc), "ok");
+  obs::drift().reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/sched_profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
 #include "sim/machine.hpp"
@@ -617,6 +618,45 @@ TEST(EngineScale, FiberAndThreadBackendsAgreeBitForBit) {
   const auto rf = ef.run(128, scale_ring_body(128, 20));
   const auto rt = et.run(128, scale_ring_body(128, 20));
   EXPECT_EQ(digest_result(rf), digest_result(rt));
+}
+
+TEST(EngineScale, ProfilerEnabledRunIsByteIdenticalAndAttributed) {
+  // The scheduler profiler observes host time only: with sampling on, the
+  // simulated results must stay bit-identical to an unprofiled run, while the
+  // samples land in known phases under the per-worker collapsed stacks.
+  const MachineSpec m = scale_machine();
+  sim::EngineOptions opts;
+  opts.record_trace = true;
+  opts.workers = 2;
+  Engine plain(m, opts);
+  const std::uint64_t reference = digest_result(plain.run(1024, scale_ring_body(1024, 10)));
+
+  obs::SchedProfiler& prof = obs::sched_profiler();
+  prof.reset();
+  obs::SchedProfiler::Options popts;
+  popts.interval_us = 100;
+  prof.start(popts);
+  // The sampler is wall-clock driven; on a loaded host one run can in theory
+  // complete between wakeups, so retry (each run must digest identically).
+  for (int attempt = 0; attempt < 5 && prof.total_samples() == 0; ++attempt) {
+    Engine profiled(m, opts);
+    EXPECT_EQ(digest_result(profiled.run(1024, scale_ring_body(1024, 10))), reference);
+  }
+  prof.stop();
+
+  EXPECT_GT(prof.total_samples(), 0u);
+  for (const auto& row : prof.report()) {
+    EXPECT_GE(row.worker, 0);
+    const bool known = row.phase == obs::SchedPhase::kIdle ||
+                       row.phase == obs::SchedPhase::kHeapDispatch ||
+                       row.phase == obs::SchedPhase::kFiberRun ||
+                       row.phase == obs::SchedPhase::kMailboxWait;
+    EXPECT_TRUE(known);
+    EXPECT_EQ(row.rank >= 0, row.phase == obs::SchedPhase::kFiberRun);
+  }
+  const std::string collapsed = prof.collapsed();
+  EXPECT_NE(collapsed.find("isoee_engine;worker_"), std::string::npos);
+  prof.reset();
 }
 
 TEST(EngineScale, RankFailureAtP1024UnwindsAndLeaksNoFiberStacks) {
